@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kaleidoscope/internal/experiments"
+	"kaleidoscope/internal/netsim"
+	"kaleidoscope/internal/report"
+	"kaleidoscope/internal/stats"
+)
+
+// runFig4And5 reproduces the font-size study at paper scale: 100 crowd
+// workers, 50 in-lab participants, five font sizes.
+func runFig4And5(rng *rand.Rand, printFig4, printFig5 bool) error {
+	fmt.Println("=== §IV-A Kaleidoscope vs in-lab testing (Figs. 4 and 5) ===")
+	res, err := experiments.RunFig4(experiments.Fig4Config{}, rng)
+	if err != nil {
+		return err
+	}
+	if printFig4 {
+		fmt.Println(experiments.FormatFig4(res))
+	}
+	if printFig5 {
+		fig5, err := experiments.BuildFig5(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig5(fig5))
+		plot, err := report.CDFPlot(map[string]*stats.ECDF{
+			"raw":    fig5.TimeMinutes[experiments.CohortRaw],
+			"qc":     fig5.TimeMinutes[experiments.CohortQC],
+			"in-lab": fig5.TimeMinutes[experiments.CohortInLab],
+		}, 60, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 5(c) as CDF curves (x = minutes per comparison):")
+		fmt.Println(plot)
+	}
+	return nil
+}
+
+// runExpandButton reproduces the Kaleidoscope-vs-A/B study (Figs. 6-8).
+func runExpandButton(rng *rand.Rand) error {
+	fmt.Println("=== §IV-B Kaleidoscope vs A/B testing (Figs. 6, 7, 8) ===")
+	res, err := experiments.RunExpandButton(experiments.ExpandButtonConfig{}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFig7a(res))
+	hours := make([]float64, len(res.KaleidoscopeArrivals))
+	counts := make([]int, len(res.KaleidoscopeArrivals))
+	for i, p := range res.KaleidoscopeArrivals {
+		hours[i] = p.Elapsed.Hours()
+		counts[i] = p.Count
+	}
+	plot, err := report.ArrivalPlot(hours, counts, 60, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 7(a) Kaleidoscope arrival curve:")
+	fmt.Println(plot)
+	fmt.Println(experiments.FormatFig7b(res))
+	fmt.Println(experiments.FormatFig7c(res))
+	fmt.Println(experiments.FormatFig8(res))
+	return nil
+}
+
+// runFig9 reproduces the page-load-feature study (§IV-C).
+func runFig9(rng *rand.Rand) error {
+	fmt.Println("=== §IV-C page load feature (Fig. 9) ===")
+	res, err := experiments.RunFig9(experiments.Fig9Config{}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFig9(res))
+	return nil
+}
+
+// runAblations probes the design choices DESIGN.md calls out.
+func runAblations(rng *rand.Rand) error {
+	fmt.Println("=== Ablations ===")
+	sort, err := experiments.RunSortReduction(5, 100, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatSortReduction(sort))
+
+	qc, err := experiments.RunQCAblation(200, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatQCAblation(qc))
+
+	replay, err := experiments.RunLocalReplay(5, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatLocalReplay(replay))
+
+	pres, err := experiments.RunPresentation(300, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatPresentation(pres))
+
+	sortedStudy, err := experiments.RunSortedStudy(40, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatSortedStudy(sortedStudy))
+
+	proto, err := experiments.RunProtocolStudy(netsim.ProfileSatell, 100, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatProtocolStudy(proto))
+	return nil
+}

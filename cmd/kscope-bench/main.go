@@ -1,0 +1,71 @@
+// Command kscope-bench regenerates every table and figure of the paper's
+// evaluation section at paper scale and prints the rows/series alongside
+// the paper's reported values. Run it to produce the data recorded in
+// EXPERIMENTS.md:
+//
+//	kscope-bench                 # everything
+//	kscope-bench -only fig4      # one experiment: fig4 fig5 fig7 fig8 fig9 ablations
+//	kscope-bench -seed 7         # different simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"kaleidoscope/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kscope-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kscope-bench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	only := fs.String("only", "", "run only one experiment: fig4, fig5, fig7, fig8, fig9, ablations, stability")
+	stabilitySeeds := fs.Int("stability-seeds", 5, "seeds for the robustness sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+
+	if want("fig4") || want("fig5") {
+		if err := runFig4And5(rng, want("fig4"), want("fig5")); err != nil {
+			return err
+		}
+	}
+	if want("fig7") || want("fig8") {
+		if err := runExpandButton(rng); err != nil {
+			return err
+		}
+	}
+	if want("fig9") {
+		if err := runFig9(rng); err != nil {
+			return err
+		}
+	}
+	if want("ablations") {
+		if err := runAblations(rng); err != nil {
+			return err
+		}
+	}
+	if want("stability") && *only == "stability" {
+		// The sweep is opt-in (it repeats the headline experiments).
+		res, err := experiments.RunStability(*stabilitySeeds, 40, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Robustness sweep ===")
+		fmt.Println(experiments.FormatStability(res))
+	}
+	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

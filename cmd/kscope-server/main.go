@@ -1,0 +1,74 @@
+// Command kscope-server runs Kaleidoscope's core server over a prepared
+// storage directory, exposing the HTTP API browser-extension clients use:
+//
+//	GET  /api/tests/{id}            test info (description, questions, pages)
+//	GET  /api/tests/{id}/task       crowdsourcing-platform posting payload
+//	GET  /api/tests/{id}/pages/{page}/{file}   integrated-page resources
+//	POST /api/tests/{id}/sessions   participant session upload
+//	GET  /api/tests/{id}/results    concluded results (?quality=1 for QC)
+//
+// Prepare storage first with: kscope prepare -params ... -sites ... -store DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kaleidoscope/internal/server"
+	"kaleidoscope/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kscope-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kscope-server", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8780", "listen address")
+	storeDir := fs.String("store", "", "storage directory prepared by kscope (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, cleanup, err := buildServer(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("kscope-server listening on http://%s (store: %s)\n", *addr, *storeDir)
+	return httpServer.ListenAndServe()
+}
+
+// buildServer wires the core server over a prepared storage directory and
+// returns a cleanup closing the database.
+func buildServer(storeDir string) (*server.Server, func(), error) {
+	if storeDir == "" {
+		return nil, nil, fmt.Errorf("-store is required")
+	}
+	db, err := store.Open(filepath.Join(storeDir, "db"))
+	if err != nil {
+		return nil, nil, err
+	}
+	blobs, err := store.OpenBlobStore(filepath.Join(storeDir, "blobs"))
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	srv, err := server.New(db, blobs)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return srv, db.Close, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/store"
+	"kaleidoscope/internal/webgen"
+)
+
+func TestBuildServerValidation(t *testing.T) {
+	if _, _, err := buildServer(""); err == nil {
+		t.Error("empty store dir should fail")
+	}
+}
+
+func TestBuildServerServesPreparedStore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := store.Open(filepath.Join(dir, "db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := store.OpenBlobStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregator.New(db, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := &params.Test{
+		TestID: "served", WebpageNum: 2, TestDescription: "d", ParticipantNum: 1,
+		Questions: []string{"q?"},
+		Webpages: []params.Webpage{
+			{WebPath: "a", WebPageLoad: params.PageLoadSpec{UniformMillis: 100}, WebMainFile: "index.html"},
+			{WebPath: "b", WebPageLoad: params.PageLoadSpec{UniformMillis: 100}, WebMainFile: "index.html"},
+		},
+	}
+	sites := map[string]*webgen.Site{
+		"a": webgen.WikiArticle(webgen.WikiConfig{Seed: 1, Sections: 1, ParagraphsPerSection: 1}),
+		"b": webgen.WikiArticle(webgen.WikiConfig{Seed: 2, Sections: 1, ParagraphsPerSection: 1}),
+	}
+	if _, err := agg.Prepare(test, sites, nil); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	srv, cleanup, err := buildServer(dir)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	defer cleanup()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/api/tests/served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "served") {
+		t.Errorf("status=%d body=%s", resp.StatusCode, body)
+	}
+}

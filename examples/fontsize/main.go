@@ -1,0 +1,51 @@
+// Fontsize reproduces the paper's §IV-A study (Figs. 4 and 5): "What is
+// the best font size for online reading?" — five Wikipedia-style article
+// versions (10, 12, 14, 18, 22 pt) compared side-by-side by a crowdsourced
+// cohort and an in-lab cohort, with and without quality control.
+//
+//	go run ./examples/fontsize            # reduced scale (fast)
+//	go run ./examples/fontsize -paper     # paper scale: 100 crowd + 50 lab
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"kaleidoscope/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fontsize:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	paperScale := flag.Bool("paper", false, "run at paper scale (100 crowd + 50 in-lab workers)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := experiments.Fig4Config{CrowdWorkers: 30, InLabWorkers: 15}
+	if *paperScale {
+		cfg = experiments.Fig4Config{} // defaults are the paper's scale
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	res, err := experiments.RunFig4(cfg, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFig4(res))
+
+	best := res.Config.FontSizesPt[experiments.TopChoice(res.QualityControlled)]
+	fmt.Printf("winner (quality-controlled crowd): %dpt — the paper and the CHI literature say 12-14pt\n\n", best)
+
+	fig5, err := experiments.BuildFig5(res)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFig5(fig5))
+	return nil
+}

@@ -1,0 +1,3 @@
+module kaleidoscope
+
+go 1.22

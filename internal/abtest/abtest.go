@@ -1,0 +1,240 @@
+// Package abtest implements the classic A/B-testing baseline Kaleidoscope
+// is evaluated against (paper §IV-B): a live website serves two page
+// versions to organic visitors with equal probability, records only
+// whether each visitor clicks the element under study, and decides via a
+// two-proportion significance test. The simulator models the paper's
+// research-group site: sparse organic traffic (~8 visitors/day, so 100
+// visitors take ~12 days) and low click-through rates (3/51 vs 6/49).
+package abtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kaleidoscope/internal/stats"
+)
+
+// Version labels the two arms of the test.
+type Version string
+
+// The two arms.
+const (
+	VersionA Version = "A" // original
+	VersionB Version = "B" // variant
+)
+
+// Config parameterizes a simulated A/B campaign.
+type Config struct {
+	// VisitorsPerDay is the mean organic traffic (Poisson arrivals). The
+	// paper's site drew roughly 100 visitors over 12 days.
+	VisitorsPerDay float64
+	// RequiredVisitors ends the campaign.
+	RequiredVisitors int
+	// ClickRateA and ClickRateB are the per-visit probabilities of
+	// clicking the element under study.
+	ClickRateA float64
+	ClickRateB float64
+}
+
+// PaperConfig reproduces the paper's §IV-B campaign: 100 visitors at the
+// group site's organic rate, with click rates matching the observed
+// 3/51 (A) and 6/49 (B).
+func PaperConfig() Config {
+	return Config{
+		VisitorsPerDay:   100.0 / 12.0,
+		RequiredVisitors: 100,
+		ClickRateA:       3.0 / 51.0,
+		ClickRateB:       6.0 / 49.0,
+	}
+}
+
+// Validate checks the campaign parameters.
+func (c Config) Validate() error {
+	if c.VisitorsPerDay <= 0 {
+		return errors.New("abtest: visitors per day must be positive")
+	}
+	if c.RequiredVisitors <= 0 {
+		return errors.New("abtest: required visitors must be positive")
+	}
+	for _, r := range []float64{c.ClickRateA, c.ClickRateB} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("abtest: click rate %v out of [0,1]", r)
+		}
+	}
+	return nil
+}
+
+// Visit is one recorded visitor. Only the served version and the click are
+// stored — the privacy posture the paper describes.
+type Visit struct {
+	// Arrived is the elapsed time since the campaign started.
+	Arrived time.Duration
+	Version Version
+	Clicked bool
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Config Config
+	Visits []Visit
+	// Duration is when the last required visitor arrived.
+	Duration time.Duration
+}
+
+// Run simulates a campaign: exponential interarrivals at the configured
+// rate, 50/50 random bucketing, Bernoulli clicks.
+func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("abtest: nil random source")
+	}
+	meanGap := time.Duration(float64(24*time.Hour) / cfg.VisitorsPerDay)
+	res := &Result{Config: cfg}
+	var clock time.Duration
+	for i := 0; i < cfg.RequiredVisitors; i++ {
+		clock += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		v := Visit{Arrived: clock, Version: VersionA}
+		rate := cfg.ClickRateA
+		if rng.Intn(2) == 1 {
+			v.Version = VersionB
+			rate = cfg.ClickRateB
+		}
+		v.Clicked = rng.Float64() < rate
+		res.Visits = append(res.Visits, v)
+	}
+	res.Duration = clock
+	return res, nil
+}
+
+// Counts aggregates a result's arms.
+type Counts struct {
+	VisitorsA, ClicksA int
+	VisitorsB, ClicksB int
+}
+
+// Counts tallies visitors and clicks per arm.
+func (r *Result) Counts() Counts {
+	var c Counts
+	for _, v := range r.Visits {
+		if v.Version == VersionA {
+			c.VisitorsA++
+			if v.Clicked {
+				c.ClicksA++
+			}
+		} else {
+			c.VisitorsB++
+			if v.Clicked {
+				c.ClicksB++
+			}
+		}
+	}
+	return c
+}
+
+// Significance runs the two-proportion z-test over the campaign's arms —
+// the paper's decision rule (it reports the one-sided P=0.133 for its
+// 100-visitor campaign).
+func (r *Result) Significance() (stats.TwoProportionResult, error) {
+	c := r.Counts()
+	if c.VisitorsA == 0 || c.VisitorsB == 0 {
+		return stats.TwoProportionResult{}, errors.New("abtest: an arm has no visitors")
+	}
+	return stats.TwoProportionTest(c.ClicksA, c.VisitorsA, c.ClicksB, c.VisitorsB)
+}
+
+// CumulativePoint is one step of a Fig. 7(b)-style curve: after `Visitors`
+// cumulative testers of one arm, `Clicks` of them had clicked.
+type CumulativePoint struct {
+	Visitors int
+	Clicks   int
+}
+
+// ClickCurve returns the cumulative click curve for one arm.
+func (r *Result) ClickCurve(version Version) []CumulativePoint {
+	var pts []CumulativePoint
+	visitors, clicks := 0, 0
+	for _, v := range r.Visits {
+		if v.Version != version {
+			continue
+		}
+		visitors++
+		if v.Clicked {
+			clicks++
+		}
+		pts = append(pts, CumulativePoint{Visitors: visitors, Clicks: clicks})
+	}
+	return pts
+}
+
+// ArrivalCurve returns (elapsed, cumulative visitors) steps — the A/B side
+// of Fig. 7(a).
+func (r *Result) ArrivalCurve() []ArrivalPoint {
+	pts := make([]ArrivalPoint, 0, len(r.Visits))
+	for i, v := range r.Visits {
+		pts = append(pts, ArrivalPoint{Elapsed: v.Arrived, Count: i + 1})
+	}
+	return pts
+}
+
+// ArrivalPoint is one step of a cumulative arrival curve.
+type ArrivalPoint struct {
+	Elapsed time.Duration
+	Count   int
+}
+
+// VisitorsNeededForSignificance extends the campaign (hypothetically, by
+// resampling with the same click rates) until the two-proportion test
+// drops below alpha, returning the visitor count required. It caps at
+// maxVisitors and reports ok=false if significance was not reached — the
+// paper's point that 100 visitors are nowhere near enough for its effect
+// size.
+func VisitorsNeededForSignificance(cfg Config, alpha float64, maxVisitors int, rng *rand.Rand) (int, bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, false, err
+	}
+	if rng == nil {
+		return 0, false, errors.New("abtest: nil random source")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, false, errors.New("abtest: alpha out of (0,1)")
+	}
+	var c Counts
+	// Check in batches to keep the loop cheap; significance at these
+	// effect sizes moves slowly. A warm-up floor guards against the
+	// sequential-peeking false positives tiny samples produce.
+	const (
+		batch       = 25
+		minVisitors = 200
+	)
+	for n := 0; n < maxVisitors; {
+		for i := 0; i < batch && n < maxVisitors; i++ {
+			n++
+			if rng.Intn(2) == 0 {
+				c.VisitorsA++
+				if rng.Float64() < cfg.ClickRateA {
+					c.ClicksA++
+				}
+			} else {
+				c.VisitorsB++
+				if rng.Float64() < cfg.ClickRateB {
+					c.ClicksB++
+				}
+			}
+		}
+		if c.VisitorsA == 0 || c.VisitorsB == 0 || c.VisitorsA+c.VisitorsB < minVisitors {
+			continue
+		}
+		res, err := stats.TwoProportionTest(c.ClicksA, c.VisitorsA, c.ClicksB, c.VisitorsB)
+		if err != nil {
+			return 0, false, err
+		}
+		if res.PValue < alpha {
+			return c.VisitorsA + c.VisitorsB, true, nil
+		}
+	}
+	return maxVisitors, false, nil
+}

@@ -1,0 +1,226 @@
+package abtest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPaperConfigValid(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatalf("PaperConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no traffic", func(c *Config) { c.VisitorsPerDay = 0 }},
+		{"no visitors", func(c *Config) { c.RequiredVisitors = 0 }},
+		{"bad rate A", func(c *Config) { c.ClickRateA = -0.1 }},
+		{"bad rate B", func(c *Config) { c.ClickRateB = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := PaperConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("should fail")
+			}
+		})
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res, err := Run(PaperConfig(), rng)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Visits) != 100 {
+		t.Fatalf("visits = %d", len(res.Visits))
+	}
+	c := res.Counts()
+	if c.VisitorsA+c.VisitorsB != 100 {
+		t.Errorf("counts = %+v", c)
+	}
+	// 50/50 split within reason.
+	if c.VisitorsA < 30 || c.VisitorsA > 70 {
+		t.Errorf("arm A visitors = %d, improbable split", c.VisitorsA)
+	}
+	// ~12 days to collect 100 visitors (paper Fig. 7a); accept a band.
+	days := res.Duration.Hours() / 24
+	if days < 6 || days > 24 {
+		t.Errorf("duration = %.1f days, want ~12", days)
+	}
+	// Visits are time-ordered.
+	for i := 1; i < len(res.Visits); i++ {
+		if res.Visits[i].Arrived < res.Visits[i-1].Arrived {
+			t.Fatal("visits out of order")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := Run(PaperConfig(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+// TestPaperSignificanceShape: at the paper's effect size, a 100-visitor
+// campaign is rarely significant — the crux of Fig. 7(b).
+func TestPaperSignificanceShape(t *testing.T) {
+	significant := 0
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := Run(PaperConfig(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := res.Significance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Significant(0.05) {
+			significant++
+		}
+	}
+	if significant > trials/3 {
+		t.Errorf("100-visitor campaigns significant %d/%d times; paper expects rarely", significant, trials)
+	}
+}
+
+func TestSignificanceExactPaperNumbers(t *testing.T) {
+	// Reconstruct the paper's exact table: A 3/51, B 6/49.
+	res := &Result{}
+	for i := 0; i < 51; i++ {
+		res.Visits = append(res.Visits, Visit{Version: VersionA, Clicked: i < 3})
+	}
+	for i := 0; i < 49; i++ {
+		res.Visits = append(res.Visits, Visit{Version: VersionB, Clicked: i < 6})
+	}
+	sig, err := res.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.PValueOneSided < 0.12 || sig.PValueOneSided > 0.15 {
+		t.Errorf("one-sided P = %v, paper reports 0.133", sig.PValueOneSided)
+	}
+	if sig.Significant(0.05) {
+		t.Error("paper's table should not be significant")
+	}
+}
+
+func TestSignificanceEmptyArm(t *testing.T) {
+	res := &Result{Visits: []Visit{{Version: VersionA}}}
+	if _, err := res.Significance(); err == nil {
+		t.Error("empty arm should fail")
+	}
+}
+
+func TestClickCurve(t *testing.T) {
+	res := &Result{Visits: []Visit{
+		{Version: VersionA, Clicked: false},
+		{Version: VersionB, Clicked: true},
+		{Version: VersionA, Clicked: true},
+		{Version: VersionA, Clicked: false},
+	}}
+	curveA := res.ClickCurve(VersionA)
+	if len(curveA) != 3 {
+		t.Fatalf("curve A = %+v", curveA)
+	}
+	if curveA[2] != (CumulativePoint{Visitors: 3, Clicks: 1}) {
+		t.Errorf("curve A end = %+v", curveA[2])
+	}
+	curveB := res.ClickCurve(VersionB)
+	if len(curveB) != 1 || curveB[0].Clicks != 1 {
+		t.Errorf("curve B = %+v", curveB)
+	}
+}
+
+func TestArrivalCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res, err := Run(PaperConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.ArrivalCurve()
+	if len(curve) != 100 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	if curve[99].Count != 100 || curve[99].Elapsed != res.Duration {
+		t.Errorf("curve end = %+v, duration %v", curve[99], res.Duration)
+	}
+}
+
+// TestVisitorsNeededForSignificance: the paper's effect size needs far
+// more than 100 visitors.
+func TestVisitorsNeededForSignificance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	needed, ok, err := VisitorsNeededForSignificance(PaperConfig(), 0.05, 100_000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("significance not reached within cap for this seed (acceptable)")
+	}
+	if needed <= 100 {
+		t.Errorf("needed = %d, should exceed the paper's 100 visitors", needed)
+	}
+}
+
+func TestVisitorsNeededErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := VisitorsNeededForSignificance(Config{}, 0.05, 100, rng); err == nil {
+		t.Error("bad config should fail")
+	}
+	if _, _, err := VisitorsNeededForSignificance(PaperConfig(), 0.05, 100, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, _, err := VisitorsNeededForSignificance(PaperConfig(), 1.5, 100, rng); err == nil {
+		t.Error("bad alpha should fail")
+	}
+}
+
+func TestVisitorsNeededCap(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.ClickRateA = 0.05
+	cfg.ClickRateB = 0.05 // no effect: never significant
+	needed, ok, err := VisitorsNeededForSignificance(cfg, 0.001, 2_000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Skip("false positive at this seed (possible but rare)")
+	}
+	if needed != 2_000 {
+		t.Errorf("capped needed = %d", needed)
+	}
+}
+
+func TestRunDurationScalesWithTraffic(t *testing.T) {
+	slow := PaperConfig()
+	fast := PaperConfig()
+	fast.VisitorsPerDay = 1000
+	var slowDur, fastDur time.Duration
+	for seed := int64(0); seed < 5; seed++ {
+		rs, err := Run(slow, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := Run(fast, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowDur += rs.Duration
+		fastDur += rf.Duration
+	}
+	if fastDur >= slowDur {
+		t.Errorf("more traffic should finish faster: %v vs %v", fastDur, slowDur)
+	}
+}

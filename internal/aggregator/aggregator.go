@@ -1,0 +1,306 @@
+// Package aggregator implements Kaleidoscope's test-data preparation (paper
+// §III-B). Given N webpage versions and the test parameters it:
+//
+//  1. compresses each version into a single self-contained HTML file
+//     (SingleFile-style) so the browser extension can download it,
+//  2. injects the page-load replay spec into each compressed version,
+//  3. generates one integrated webpage per unordered pair of versions —
+//     an initial HTML document with two side-by-side iframes — plus
+//     control pages (an identical pair, and any caller-supplied pairs
+//     with known answers) for quality control,
+//  4. stores everything in the document database and blob store the core
+//     server serves from.
+package aggregator
+
+import (
+	"errors"
+	"fmt"
+
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/inline"
+	"kaleidoscope/internal/pageload"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/store"
+	"kaleidoscope/internal/webgen"
+)
+
+// Collection names, mirroring the paper's three MongoDB collections.
+const (
+	TestsCollection     = "tests"
+	PagesCollection     = "integrated_pages"
+	ResponsesCollection = "responses"
+)
+
+// PageKind distinguishes real comparisons from quality-control pages.
+type PageKind string
+
+// Page kinds.
+const (
+	KindReal    PageKind = "real"
+	KindControl PageKind = "control"
+)
+
+// IntegratedPage describes one side-by-side page.
+type IntegratedPage struct {
+	ID        string   `json:"id"`
+	TestID    string   `json:"test_id"`
+	LeftName  string   `json:"left"`
+	RightName string   `json:"right"`
+	Kind      PageKind `json:"kind"`
+	// Expected is the known answer for control pages ("" for real pages).
+	Expected questionnaire.Choice `json:"expected,omitempty"`
+}
+
+// ControlPair is a caller-supplied control page with a known answer (the
+// paper's "two significantly different webpages" control, e.g. 4pt vs
+// 12pt main text).
+type ControlPair struct {
+	Name     string
+	Left     *webgen.Site
+	Right    *webgen.Site
+	Expected questionnaire.Choice
+}
+
+// Prepared is the aggregator's output: everything the core server needs.
+type Prepared struct {
+	Test *params.Test
+	// Pages lists integrated pages in presentation order: real pairs
+	// first, controls appended.
+	Pages []IntegratedPage
+}
+
+// RealPages returns only the non-control pages.
+func (p *Prepared) RealPages() []IntegratedPage {
+	var out []IntegratedPage
+	for _, page := range p.Pages {
+		if page.Kind == KindReal {
+			out = append(out, page)
+		}
+	}
+	return out
+}
+
+// ControlPages returns only the control pages.
+func (p *Prepared) ControlPages() []IntegratedPage {
+	var out []IntegratedPage
+	for _, page := range p.Pages {
+		if page.Kind == KindControl {
+			out = append(out, page)
+		}
+	}
+	return out
+}
+
+// Aggregator wires the preparation pipeline to storage.
+type Aggregator struct {
+	db    *store.DB
+	blobs *store.BlobStore
+}
+
+// New returns an aggregator over the given storage.
+func New(db *store.DB, blobs *store.BlobStore) (*Aggregator, error) {
+	if db == nil || blobs == nil {
+		return nil, errors.New("aggregator: nil storage")
+	}
+	return &Aggregator{db: db, blobs: blobs}, nil
+}
+
+// Prepare runs the full preparation pipeline. The sites map is keyed by
+// each webpage's WebPath from the test parameters. Extra control pairs are
+// optional; an identical-pair control (expected answer "Same") is always
+// generated from the first version.
+func (a *Aggregator) Prepare(test *params.Test, sites map[string]*webgen.Site, extraControls []ControlPair) (*Prepared, error) {
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("aggregator: %w", err)
+	}
+	// Compress + inject every version.
+	singles := make([]*webgen.Site, len(test.Webpages))
+	names := make([]string, len(test.Webpages))
+	for i, wp := range test.Webpages {
+		site, ok := sites[wp.WebPath]
+		if !ok {
+			return nil, fmt.Errorf("aggregator: no site provided for web_path %q", wp.WebPath)
+		}
+		single, err := a.compressVersion(site, wp.WebPageLoad)
+		if err != nil {
+			return nil, fmt.Errorf("aggregator: version %q: %w", wp.WebPath, err)
+		}
+		singles[i] = single
+		names[i] = wp.WebPath
+	}
+
+	prep := &Prepared{Test: test}
+
+	// Real pairs: C(N,2) integrated pages.
+	for i := 0; i < len(singles); i++ {
+		for j := i + 1; j < len(singles); j++ {
+			id := fmt.Sprintf("pair-%d-%d", i, j)
+			page := IntegratedPage{
+				ID: id, TestID: test.TestID,
+				LeftName: names[i], RightName: names[j], Kind: KindReal,
+			}
+			if err := a.storeIntegrated(test.TestID, id, singles[i], singles[j]); err != nil {
+				return nil, err
+			}
+			prep.Pages = append(prep.Pages, page)
+		}
+	}
+
+	// Identical-pair control: the same version on both sides.
+	sameID := "control-same"
+	if err := a.storeIntegrated(test.TestID, sameID, singles[0], singles[0]); err != nil {
+		return nil, err
+	}
+	prep.Pages = append(prep.Pages, IntegratedPage{
+		ID: sameID, TestID: test.TestID,
+		LeftName: names[0], RightName: names[0],
+		Kind: KindControl, Expected: questionnaire.ChoiceSame,
+	})
+
+	// Caller-supplied known-answer controls.
+	for k, ctl := range extraControls {
+		if !ctl.Expected.Valid() {
+			return nil, fmt.Errorf("aggregator: control %d has invalid expected answer %q", k, ctl.Expected)
+		}
+		left, err := a.compressVersion(ctl.Left, params.PageLoadSpec{})
+		if err != nil {
+			return nil, fmt.Errorf("aggregator: control %d left: %w", k, err)
+		}
+		right, err := a.compressVersion(ctl.Right, params.PageLoadSpec{})
+		if err != nil {
+			return nil, fmt.Errorf("aggregator: control %d right: %w", k, err)
+		}
+		id := fmt.Sprintf("control-%d", k)
+		if err := a.storeIntegrated(test.TestID, id, left, right); err != nil {
+			return nil, err
+		}
+		name := ctl.Name
+		if name == "" {
+			name = id
+		}
+		prep.Pages = append(prep.Pages, IntegratedPage{
+			ID: id, TestID: test.TestID,
+			LeftName: name + "-left", RightName: name + "-right",
+			Kind: KindControl, Expected: ctl.Expected,
+		})
+	}
+
+	if err := a.persist(prep); err != nil {
+		return nil, err
+	}
+	return prep, nil
+}
+
+// compressVersion inlines a version into one file and injects the replay
+// spec.
+func (a *Aggregator) compressVersion(site *webgen.Site, spec params.PageLoadSpec) (*webgen.Site, error) {
+	if site == nil {
+		return nil, errors.New("nil site")
+	}
+	single, _, err := inline.SingleFileSite(site, inline.Options{DropExternal: true})
+	if err != nil {
+		return nil, err
+	}
+	doc := htmlx.Parse(string(single.HTML()))
+	if err := pageload.InjectSpec(doc, spec); err != nil {
+		return nil, err
+	}
+	single.Put(single.MainFile, []byte(htmlx.Render(doc)))
+	return single, nil
+}
+
+// integratedCSS lays the two iframes side by side (Fig. 1).
+const integratedCSS = `html, body { margin: 0; height: 100%; }
+.kscope-wrap { display: flex; width: 100%; height: 100%; }
+.kscope-pane { flex: 1 1 50%; height: 100%; border: none; }
+.kscope-divider { width: 2px; background: #444; }
+`
+
+// storeIntegrated builds the two-iframe integrated page and stores its
+// folder (index.html + left.html + right.html) in the blob store.
+func (a *Aggregator) storeIntegrated(testID, pageID string, left, right *webgen.Site) error {
+	integrated := webgen.NewSite("index.html")
+	var b []byte
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>Kaleidoscope side-by-side test</title>\n<style>"...)
+	b = append(b, integratedCSS...)
+	b = append(b, "</style>\n</head>\n<body>\n<div class=\"kscope-wrap\">\n"...)
+	b = append(b, `<iframe id="kscope-left" class="kscope-pane" src="left.html"></iframe>`+"\n"...)
+	b = append(b, `<div class="kscope-divider"></div>`+"\n"...)
+	b = append(b, `<iframe id="kscope-right" class="kscope-pane" src="right.html"></iframe>`+"\n"...)
+	b = append(b, "</div>\n</body>\n</html>\n"...)
+	integrated.Put("index.html", b)
+	integrated.Put("left.html", left.HTML())
+	integrated.Put("right.html", right.HTML())
+	return a.blobs.PutSite(testID, pageID, integrated)
+}
+
+// persist writes the test and page documents to the database.
+func (a *Aggregator) persist(prep *Prepared) error {
+	encoded, err := prep.Test.Encode()
+	if err != nil {
+		return fmt.Errorf("aggregator: %w", err)
+	}
+	testDoc := store.Document{
+		store.IDField:  prep.Test.TestID,
+		"description":  prep.Test.TestDescription,
+		"participants": prep.Test.ParticipantNum,
+		"questions":    prep.Test.Questions,
+		"page_count":   len(prep.Pages),
+		"params_json":  string(encoded),
+	}
+	if _, err := a.db.Collection(TestsCollection).Insert(testDoc); err != nil {
+		return fmt.Errorf("aggregator: storing test: %w", err)
+	}
+	pages := a.db.Collection(PagesCollection)
+	for _, p := range prep.Pages {
+		doc := store.Document{
+			store.IDField: p.TestID + "/" + p.ID,
+			"page_id":     p.ID,
+			"test_id":     p.TestID,
+			"left":        p.LeftName,
+			"right":       p.RightName,
+			"kind":        string(p.Kind),
+			"expected":    string(p.Expected),
+		}
+		if _, err := pages.Insert(doc); err != nil {
+			return fmt.Errorf("aggregator: storing page %s: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+// LoadPrepared reconstructs a Prepared from storage — what the core server
+// does when serving a test it did not prepare itself.
+func LoadPrepared(db *store.DB, testID string) (*Prepared, error) {
+	testDoc, err := db.Collection(TestsCollection).Get(testID)
+	if err != nil {
+		return nil, fmt.Errorf("aggregator: %w", err)
+	}
+	raw, _ := testDoc["params_json"].(string)
+	test, err := params.Parse([]byte(raw))
+	if err != nil {
+		return nil, fmt.Errorf("aggregator: stored params: %w", err)
+	}
+	prep := &Prepared{Test: test}
+	for _, doc := range db.Collection(PagesCollection).FindEq("test_id", testID) {
+		page := IntegratedPage{
+			ID:        docString(doc, "page_id"),
+			TestID:    testID,
+			LeftName:  docString(doc, "left"),
+			RightName: docString(doc, "right"),
+			Kind:      PageKind(docString(doc, "kind")),
+			Expected:  questionnaire.Choice(docString(doc, "expected")),
+		}
+		prep.Pages = append(prep.Pages, page)
+	}
+	if len(prep.Pages) == 0 {
+		return nil, fmt.Errorf("aggregator: test %s has no pages", testID)
+	}
+	return prep, nil
+}
+
+func docString(d store.Document, key string) string {
+	s, _ := d[key].(string)
+	return s
+}

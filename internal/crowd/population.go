@@ -1,0 +1,103 @@
+package crowd
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Mix is the archetype composition of a population; fractions must sum
+// to 1.
+type Mix struct {
+	Diligent   float64
+	Casual     float64
+	Hasty      float64
+	Distracted float64
+}
+
+// Canonical mixes.
+var (
+	// InLabMix models invited participants who "promise full commitment
+	// to the test" (the paper's friends-and-colleagues cohort): fully
+	// diligent.
+	InLabMix = Mix{Diligent: 1.0}
+	// TrustedCrowdMix models FigureEight's "historically trustworthy"
+	// tier: mostly engaged, a thin tail of careless work that quality
+	// control catches.
+	TrustedCrowdMix = Mix{Diligent: 0.62, Casual: 0.22, Hasty: 0.08, Distracted: 0.08}
+	// OpenCrowdMix models an unfiltered crowd.
+	OpenCrowdMix = Mix{Diligent: 0.40, Casual: 0.28, Hasty: 0.22, Distracted: 0.10}
+)
+
+// valid reports whether the mix is a probability distribution.
+func (m Mix) valid() bool {
+	sum := m.Diligent + m.Casual + m.Hasty + m.Distracted
+	return sum > 0.999 && sum < 1.001 &&
+		m.Diligent >= 0 && m.Casual >= 0 && m.Hasty >= 0 && m.Distracted >= 0
+}
+
+// draw samples an archetype.
+func (m Mix) draw(rng *rand.Rand) Archetype {
+	x := rng.Float64()
+	switch {
+	case x < m.Diligent:
+		return Diligent
+	case x < m.Diligent+m.Casual:
+		return Casual
+	case x < m.Diligent+m.Casual+m.Hasty:
+		return Hasty
+	default:
+		return Distracted
+	}
+}
+
+// Population is a set of simulated workers.
+type Population struct {
+	Workers []*Worker
+}
+
+// ErrBadMix reports a mix that is not a probability distribution.
+var ErrBadMix = errors.New("crowd: archetype mix must sum to 1 with non-negative parts")
+
+// NewPopulation draws n workers from the mix. Trusted marks every worker
+// with the platform's trust tier (recruitment can filter on it).
+func NewPopulation(n int, mix Mix, trusted bool, rng *rand.Rand) (*Population, error) {
+	if n <= 0 {
+		return nil, errors.New("crowd: population size must be positive")
+	}
+	if rng == nil {
+		return nil, errors.New("crowd: nil random source")
+	}
+	if !mix.valid() {
+		return nil, ErrBadMix
+	}
+	p := &Population{Workers: make([]*Worker, 0, n)}
+	for i := 0; i < n; i++ {
+		p.Workers = append(p.Workers, newWorker(i, mix.draw(rng), trusted, rng))
+	}
+	return p, nil
+}
+
+// InLabPopulation returns n trusted in-lab participants (the paper's 50
+// friends and colleagues).
+func InLabPopulation(n int, rng *rand.Rand) (*Population, error) {
+	return NewPopulation(n, InLabMix, true, rng)
+}
+
+// TrustedCrowd returns n "historically trustworthy" FigureEight workers.
+func TrustedCrowd(n int, rng *rand.Rand) (*Population, error) {
+	return NewPopulation(n, TrustedCrowdMix, true, rng)
+}
+
+// OpenCrowd returns n unfiltered crowd workers.
+func OpenCrowd(n int, rng *rand.Rand) (*Population, error) {
+	return NewPopulation(n, OpenCrowdMix, false, rng)
+}
+
+// CountByArchetype tallies the population composition.
+func (p *Population) CountByArchetype() map[Archetype]int {
+	out := make(map[Archetype]int)
+	for _, w := range p.Workers {
+		out[w.Archetype]++
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package crowd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Targeting expresses a job's demographic requirements — the paper's
+// "target demographics" input. Empty fields mean "any".
+type Targeting struct {
+	// Countries whitelists worker countries (ISO-ish codes as collected
+	// by the extension).
+	Countries []string `json:"countries,omitempty"`
+	// AgeBands whitelists the coarse age bands the extension collects.
+	AgeBands []string `json:"age_bands,omitempty"`
+	// Genders whitelists self-reported genders.
+	Genders []string `json:"genders,omitempty"`
+	// MinTechAbility requires at least this self-assessed ability (1-5).
+	MinTechAbility int `json:"min_tech_ability,omitempty"`
+}
+
+// IsZero reports whether the targeting imposes no constraint.
+func (t *Targeting) IsZero() bool {
+	return t == nil ||
+		(len(t.Countries) == 0 && len(t.AgeBands) == 0 && len(t.Genders) == 0 && t.MinTechAbility == 0)
+}
+
+// Validate rejects nonsensical constraints.
+func (t *Targeting) Validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.MinTechAbility < 0 || t.MinTechAbility > 5 {
+		return fmt.Errorf("crowd: min tech ability %d out of [0,5]", t.MinTechAbility)
+	}
+	return nil
+}
+
+// Matches reports whether the worker's demographics satisfy the targeting.
+func (t *Targeting) Matches(d Demographics) bool {
+	if t == nil {
+		return true
+	}
+	if len(t.Countries) > 0 && !containsFold(t.Countries, d.Country) {
+		return false
+	}
+	if len(t.AgeBands) > 0 && !containsFold(t.AgeBands, d.AgeBand) {
+		return false
+	}
+	if len(t.Genders) > 0 && !containsFold(t.Genders, d.Gender) {
+		return false
+	}
+	if t.MinTechAbility > 0 && d.TechAbility < t.MinTechAbility {
+		return false
+	}
+	return true
+}
+
+func containsFold(haystack []string, needle string) bool {
+	for _, h := range haystack {
+		if strings.EqualFold(h, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the targeting for task descriptions.
+func (t *Targeting) String() string {
+	if t.IsZero() {
+		return "any demographics"
+	}
+	var parts []string
+	if len(t.Countries) > 0 {
+		parts = append(parts, "countries "+strings.Join(t.Countries, "/"))
+	}
+	if len(t.AgeBands) > 0 {
+		parts = append(parts, "ages "+strings.Join(t.AgeBands, "/"))
+	}
+	if len(t.Genders) > 0 {
+		parts = append(parts, "genders "+strings.Join(t.Genders, "/"))
+	}
+	if t.MinTechAbility > 0 {
+		parts = append(parts, fmt.Sprintf("tech ability >= %d", t.MinTechAbility))
+	}
+	return strings.Join(parts, ", ")
+}

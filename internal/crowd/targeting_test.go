@@ -1,0 +1,115 @@
+package crowd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTargetingZeroMatchesEverything(t *testing.T) {
+	var nilTarget *Targeting
+	if !nilTarget.Matches(Demographics{Country: "US"}) {
+		t.Error("nil targeting should match anyone")
+	}
+	if !nilTarget.IsZero() {
+		t.Error("nil targeting is zero")
+	}
+	empty := &Targeting{}
+	if !empty.IsZero() || !empty.Matches(Demographics{}) {
+		t.Error("empty targeting should match anyone")
+	}
+	if empty.String() != "any demographics" {
+		t.Errorf("String = %q", empty.String())
+	}
+}
+
+func TestTargetingMatches(t *testing.T) {
+	target := &Targeting{
+		Countries:      []string{"US", "gb"},
+		AgeBands:       []string{"25-34"},
+		MinTechAbility: 3,
+	}
+	tests := []struct {
+		name string
+		demo Demographics
+		want bool
+	}{
+		{"full match", Demographics{Country: "US", AgeBand: "25-34", TechAbility: 4}, true},
+		{"case-insensitive country", Demographics{Country: "GB", AgeBand: "25-34", TechAbility: 3}, true},
+		{"wrong country", Demographics{Country: "DE", AgeBand: "25-34", TechAbility: 5}, false},
+		{"wrong age", Demographics{Country: "US", AgeBand: "55+", TechAbility: 5}, false},
+		{"low tech", Demographics{Country: "US", AgeBand: "25-34", TechAbility: 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := target.Matches(tt.demo); got != tt.want {
+				t.Errorf("Matches(%+v) = %v, want %v", tt.demo, got, tt.want)
+			}
+		})
+	}
+	gendered := &Targeting{Genders: []string{"female"}}
+	if gendered.Matches(Demographics{Gender: "male"}) {
+		t.Error("gender filter failed")
+	}
+	if !gendered.Matches(Demographics{Gender: "Female"}) {
+		t.Error("gender filter should be case-insensitive")
+	}
+}
+
+func TestTargetingValidate(t *testing.T) {
+	if err := (&Targeting{MinTechAbility: 9}).Validate(); err == nil {
+		t.Error("out-of-range tech ability should fail")
+	}
+	if err := (&Targeting{MinTechAbility: 5}).Validate(); err != nil {
+		t.Errorf("valid targeting: %v", err)
+	}
+	var nilTarget *Targeting
+	if err := nilTarget.Validate(); err != nil {
+		t.Errorf("nil targeting: %v", err)
+	}
+}
+
+func TestTargetingString(t *testing.T) {
+	target := &Targeting{Countries: []string{"US"}, MinTechAbility: 2}
+	s := target.String()
+	if !strings.Contains(s, "US") || !strings.Contains(s, ">= 2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPlatformTargetedRecruitment(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	pop, err := TrustedCrowd(400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := NewPlatform(pop, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &Targeting{Countries: []string{"US", "GB"}}
+	job := Job{
+		TestID: "targeted", RequiredWorkers: 20, PaymentUSD: 0.1,
+		TrustedOnly: true, Target: target,
+	}
+	res, err := platform.Post(job, rng)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	for _, rec := range res.Recruits {
+		if !target.Matches(rec.Worker.Demo) {
+			t.Errorf("recruited %s from %s outside targeting", rec.Worker.ID, rec.Worker.Demo.Country)
+		}
+	}
+	// An unsatisfiable targeting fails recruitment.
+	job.Target = &Targeting{Countries: []string{"ZZ"}}
+	if _, err := platform.Post(job, rng); err == nil {
+		t.Error("unsatisfiable targeting should fail")
+	}
+	// Invalid targeting fails validation.
+	job.Target = &Targeting{MinTechAbility: 42}
+	if _, err := platform.Post(job, rng); err == nil {
+		t.Error("invalid targeting should fail")
+	}
+}

@@ -1,0 +1,314 @@
+// Package crowd simulates the human side of Kaleidoscope: a crowdsourcing
+// platform in the role of FigureEight, a worker population with trust
+// tiers, per-worker perception models (font-size readability, visual
+// salience, perceived page readiness), and behavioural telemetry (tabs,
+// active-tab switches, time on task). The paper's evaluation is entirely
+// statistical over worker responses; this package is the synthetic stand-in
+// for its hundreds of recruited participants, calibrated so trusted workers
+// reproduce the in-lab distributions (Fig. 4c) and the unfiltered crowd
+// reproduces the raw-crowd distortions (Fig. 4a, Fig. 5).
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kaleidoscope/internal/questionnaire"
+)
+
+// Archetype classifies a worker's engagement style.
+type Archetype int
+
+// Worker archetypes. Enums start at 1 so the zero value is invalid.
+const (
+	// Diligent workers read both versions carefully; low noise.
+	Diligent Archetype = iota + 1
+	// Casual workers skim; moderate noise, quicker answers.
+	Casual
+	// Hasty workers click through nearly at random to collect the fee —
+	// the population quality control exists to remove.
+	Hasty
+	// Distracted workers answer reasonably but with long idle gaps.
+	Distracted
+)
+
+// String returns the archetype name.
+func (a Archetype) String() string {
+	switch a {
+	case Diligent:
+		return "diligent"
+	case Casual:
+		return "casual"
+	case Hasty:
+		return "hasty"
+	case Distracted:
+		return "distracted"
+	default:
+		return "invalid"
+	}
+}
+
+// Demographics is the coarse-grained information the extension collects
+// before a test.
+type Demographics struct {
+	Gender  string `json:"gender"`
+	AgeBand string `json:"age_band"`
+	Country string `json:"country"`
+	// TechAbility is self-assessed, 1 (novice) to 5 (expert).
+	TechAbility int `json:"tech_ability"`
+}
+
+// Worker is one simulated participant.
+type Worker struct {
+	ID   string
+	Demo Demographics
+	// Trusted marks FigureEight's "historically trustworthy" tier.
+	Trusted   bool
+	Archetype Archetype
+
+	// Perception parameters.
+
+	// PreferredFontPt is the font size this worker reads best at. CHI
+	// studies place the population mode at 12-14pt.
+	PreferredFontPt float64
+	// FontTolerance is the width of the preference curve in points.
+	FontTolerance float64
+	// NoiseSigma perturbs every utility comparison.
+	NoiseSigma float64
+	// TieWidth is the indifference band: utility differences smaller than
+	// this read as "Same".
+	TieWidth float64
+	// SpamRate is the probability of answering uniformly at random.
+	SpamRate float64
+	// TextFocus in [0,1] is how strongly the worker equates "page ready"
+	// with "main text visible" rather than "chrome/navigation visible".
+	// The paper's Fig. 9 comments show both reading styles exist; the
+	// population skews toward text (the paper's conclusion).
+	TextFocus float64
+
+	// Behaviour parameters (per side-by-side comparison).
+
+	// MedianThinkMillis is the median time spent on one comparison.
+	MedianThinkMillis float64
+	// ThinkSigma is the lognormal shape of think times.
+	ThinkSigma float64
+	// RevisitRate is the per-comparison probability of reopening the page
+	// in an extra tab.
+	RevisitRate float64
+	// SwitchRate scales how often the worker flips the active tab.
+	SwitchRate float64
+}
+
+// FontUtility returns the worker's reading utility for a font size, a
+// Gaussian bump centred on their preference.
+func (w *Worker) FontUtility(pt float64) float64 {
+	d := (pt - w.PreferredFontPt) / w.FontTolerance
+	return math.Exp(-d * d / 2)
+}
+
+// compare maps a (noisy) utility difference to a side-by-side answer where
+// the first argument is the left page. Perceptual noise is Weber-like: it
+// scales with the stimulus difference (plus a small floor), so identical
+// pages are reliably judged "Same" while subtle differences stay hard to
+// discriminate — the property the identical-pair control questions rely on.
+func (w *Worker) compare(utilLeft, utilRight float64, rng *rand.Rand) questionnaire.Choice {
+	return w.compareScaled(utilLeft, utilRight, 1, 1, rng)
+}
+
+// compareScaled is compare with noise and indifference-band multipliers,
+// used by judgement channels that are inherently harder than style
+// comparison (temporal readiness).
+func (w *Worker) compareScaled(utilLeft, utilRight, noiseScale, tieScale float64, rng *rand.Rand) questionnaire.Choice {
+	if rng.Float64() < w.SpamRate {
+		switch rng.Intn(3) {
+		case 0:
+			return questionnaire.ChoiceLeft
+		case 1:
+			return questionnaire.ChoiceRight
+		default:
+			return questionnaire.ChoiceSame
+		}
+	}
+	trueDiff := utilLeft - utilRight
+	sigma := w.NoiseSigma * noiseScale * (0.3 + math.Abs(trueDiff))
+	diff := trueDiff + rng.NormFloat64()*sigma
+	switch {
+	case math.Abs(diff) < w.TieWidth*tieScale:
+		return questionnaire.ChoiceSame
+	case diff > 0:
+		return questionnaire.ChoiceLeft
+	default:
+		return questionnaire.ChoiceRight
+	}
+}
+
+// CompareFontSize answers "which font size is easier to read?" for a
+// left/right pair of font sizes in points.
+func (w *Worker) CompareFontSize(leftPt, rightPt float64, rng *rand.Rand) questionnaire.Choice {
+	return w.compare(w.FontUtility(leftPt), w.FontUtility(rightPt), rng)
+}
+
+// CompareFontSizeSequential is CompareFontSize under sequential (one page
+// after the other) presentation: the comparison runs against memory, so
+// judgement noise is multiplied by noiseScale. Kaleidoscope's side-by-side
+// integrated pages exist to avoid exactly this penalty; the presentation
+// ablation quantifies it.
+func (w *Worker) CompareFontSizeSequential(leftPt, rightPt, noiseScale float64, rng *rand.Rand) questionnaire.Choice {
+	return w.compareScaled(w.FontUtility(leftPt), w.FontUtility(rightPt), noiseScale, 1, rng)
+}
+
+// CompareSalience answers appearance/visibility questions ("which version
+// of the button is more visible?") given per-version salience scores in
+// [0, 1]. Aesthetic judgements are far more subjective than reading a font
+// size, so the comparison runs with boosted noise and a wide indifference
+// band — the paper's Fig. 8 shows even its decisive question C drew 40%
+// "Same" answers.
+func (w *Worker) CompareSalience(leftScore, rightScore float64, rng *rand.Rand) questionnaire.Choice {
+	const (
+		noiseScale = 6
+		tieScale   = 4
+	)
+	return w.compareScaled(leftScore, rightScore, noiseScale, tieScale, rng)
+}
+
+// CompareReadiness answers "which version seems ready to use first?" given
+// each version's perceived mean ready time in milliseconds (lower feels
+// faster). Differences are normalized by a just-noticeable-difference
+// constant, and the comparison runs with heavily boosted noise and a wider
+// indifference band: unlike style, readiness must be judged from the
+// *memory* of two simultaneous loading animations, which the paper's own
+// Fig. 9 shows to be a very noisy channel (only 46% of its raw cohort
+// picked the objectively text-faster version).
+func (w *Worker) CompareReadiness(leftMeanMs, rightMeanMs float64, rng *rand.Rand) questionnaire.Choice {
+	const (
+		jndMillis  = 2000 // sub-2s centroid shifts are hard to perceive
+		noiseScale = 8
+		tieScale   = 3
+	)
+	// Earlier (smaller) ready time = higher utility.
+	return w.compareScaled(-leftMeanMs/jndMillis, -rightMeanMs/jndMillis, noiseScale, tieScale, rng)
+}
+
+// Behavior is the telemetry the extension records for one side-by-side
+// comparison (the paper's Fig. 5 distributions are built from these).
+type Behavior struct {
+	// TimeOnTaskMillis is how long the comparison took.
+	TimeOnTaskMillis int
+	// CreatedTabs counts tabs opened for this comparison (>= 1: the
+	// integrated page itself; revisits add more).
+	CreatedTabs int
+	// ActiveTabSwitches counts how often the active tab changed.
+	ActiveTabSwitches int
+}
+
+// BehaveOnce draws the telemetry for one side-by-side comparison.
+func (w *Worker) BehaveOnce(rng *rand.Rand) Behavior {
+	// Lognormal think time around the archetype median.
+	think := w.MedianThinkMillis * math.Exp(rng.NormFloat64()*w.ThinkSigma)
+	if think < 500 {
+		think = 500
+	}
+	tabs := 1
+	for rng.Float64() < w.RevisitRate {
+		tabs++
+		if tabs >= 5 {
+			break
+		}
+	}
+	// Active-tab switches scale with tabs and the worker's habit: at least
+	// 2 (open + answer), plus wandering.
+	switches := 2 + rng.Intn(1+int(w.SwitchRate*4)) + (tabs-1)*2
+	return Behavior{
+		TimeOnTaskMillis:  int(think),
+		CreatedTabs:       tabs,
+		ActiveTabSwitches: switches,
+	}
+}
+
+// archetypeParams instantiates the per-archetype parameter ranges. The
+// numbers are the calibration discussed in DESIGN.md: diligent workers
+// approximate the paper's in-lab participants; hasty workers produce the
+// raw-crowd noise quality control removes.
+func applyArchetype(w *Worker, rng *rand.Rand) {
+	switch w.Archetype {
+	case Diligent:
+		w.NoiseSigma = 0.08 + rng.Float64()*0.04
+		w.TieWidth = 0.10
+		w.SpamRate = 0
+		w.MedianThinkMillis = 22_000 + rng.Float64()*8_000
+		w.ThinkSigma = 0.45
+		w.RevisitRate = 0.25
+		w.SwitchRate = 0.6
+	case Casual:
+		w.NoiseSigma = 0.20 + rng.Float64()*0.10
+		w.TieWidth = 0.16
+		w.SpamRate = 0.05
+		w.MedianThinkMillis = 12_000 + rng.Float64()*6_000
+		w.ThinkSigma = 0.55
+		w.RevisitRate = 0.15
+		w.SwitchRate = 1.0
+	case Hasty:
+		w.NoiseSigma = 0.6
+		w.TieWidth = 0.05
+		w.SpamRate = 0.65
+		w.MedianThinkMillis = 2_500 + rng.Float64()*1_500
+		w.ThinkSigma = 0.35
+		w.RevisitRate = 0.02
+		w.SwitchRate = 0.3
+	case Distracted:
+		w.NoiseSigma = 0.15 + rng.Float64()*0.05
+		w.TieWidth = 0.12
+		w.SpamRate = 0.03
+		w.MedianThinkMillis = 55_000 + rng.Float64()*25_000
+		w.ThinkSigma = 0.7
+		w.RevisitRate = 0.35
+		w.SwitchRate = 2.0
+	}
+}
+
+// clamp01 clips x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// demographic pools for coarse sampling.
+var (
+	genderPool  = []string{"female", "male", "nonbinary", "undisclosed"}
+	ageBandPool = []string{"18-24", "25-34", "35-44", "45-54", "55+"}
+	countryPool = []string{"US", "IN", "BR", "GB", "DE", "PH", "CA", "IT"}
+)
+
+// newWorker draws one worker of the given archetype.
+func newWorker(id int, arch Archetype, trusted bool, rng *rand.Rand) *Worker {
+	w := &Worker{
+		ID:        fmt.Sprintf("w-%04d", id),
+		Trusted:   trusted,
+		Archetype: arch,
+		Demo: Demographics{
+			Gender:      genderPool[rng.Intn(len(genderPool))],
+			AgeBand:     ageBandPool[rng.Intn(len(ageBandPool))],
+			Country:     countryPool[rng.Intn(len(countryPool))],
+			TechAbility: 1 + rng.Intn(5),
+		},
+		// CHI-study population: mode at 12-14pt with individual spread;
+		// a minority (e.g. dyslexic readers) prefers larger sizes.
+		PreferredFontPt: 12.4 + rng.NormFloat64()*1.3,
+		FontTolerance:   2.2 + rng.Float64()*0.9,
+	}
+	if rng.Float64() < 0.08 {
+		w.PreferredFontPt += 4 + rng.Float64()*3 // larger-print preference
+	}
+	if w.PreferredFontPt < 9 {
+		w.PreferredFontPt = 9
+	}
+	w.TextFocus = clamp01(0.62 + rng.NormFloat64()*0.25)
+	applyArchetype(w, rng)
+	return w
+}

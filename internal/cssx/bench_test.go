@@ -1,0 +1,71 @@
+package cssx
+
+import (
+	"testing"
+
+	"kaleidoscope/internal/htmlx"
+)
+
+const benchSheet = `
+body { margin: 0; font-family: serif; }
+#navbar { background: #eee; }
+#navbar li { display: inline; }
+#content p { font-size: 14pt; line-height: 1.4; }
+.section h2 { font-size: 20px; }
+p.lead, .summary { font-weight: bold; }
+#references { font-size: 11pt; }
+@media (max-width: 600px) { #content p { font-size: 12pt; } }
+`
+
+func BenchmarkParseStylesheet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParseStylesheet(benchSheet)
+	}
+}
+
+func BenchmarkSelectorMatch(b *testing.B) {
+	doc := htmlx.Parse(`<body><div id="content"><div class="section"><p class="lead">x</p></div></div></body>`)
+	sel, err := ParseSelector("#content .section p.lead")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := doc.ByClass("lead")[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !sel.Matches(p) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	doc := htmlx.Parse(`<body><div id="content">` + repeatedSections(40) + `</div></body>`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nodes, err := Query(doc, "#content .section p")
+		if err != nil || len(nodes) == 0 {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+func repeatedSections(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += `<div class="section"><h2>h</h2><p>text</p></div>`
+	}
+	return out
+}
+
+func BenchmarkComputedStyle(b *testing.B) {
+	sheet := ParseStylesheet(benchSheet)
+	doc := htmlx.Parse(`<body><div id="content"><div class="section"><p class="lead">x</p></div></div></body>`)
+	p := doc.ByClass("lead")[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(sheet.ComputedStyle(p)) == 0 {
+			b.Fatal("no style")
+		}
+	}
+}

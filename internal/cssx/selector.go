@@ -1,0 +1,449 @@
+// Package cssx implements the CSS substrate of Kaleidoscope: a selector
+// engine (parse, match, specificity) and a stylesheet parser sufficient for
+// the aggregator's resource inlining and the replay engine's selector-based
+// reveal schedules (e.g. "#content p": 1500).
+package cssx
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kaleidoscope/internal/htmlx"
+)
+
+// ErrEmptySelector is returned when a selector string contains no usable
+// parts.
+var ErrEmptySelector = errors.New("cssx: empty selector")
+
+// combinator relates adjacent compound selectors.
+type combinator int
+
+const (
+	combinatorNone       combinator = iota + 1 // first compound in a chain
+	combinatorDescendant                       // whitespace
+	combinatorChild                            // '>'
+	combinatorAdjacent                         // '+'
+	combinatorSibling                          // '~'
+)
+
+// attrMatch is one attribute condition of a compound selector.
+type attrMatch struct {
+	key    string
+	val    string
+	exact  bool // true for [k=v], false for bare [k]
+	prefix bool // true for [k^=v]
+}
+
+// compound is a single compound selector: tag#id.class[attr=v]...
+type compound struct {
+	tag     string // empty or "*" matches any element
+	id      string
+	classes []string
+	attrs   []attrMatch
+}
+
+// Selector is one parsed complex selector: a chain of compound selectors
+// joined by combinators, matched right-to-left.
+type Selector struct {
+	// parts[i] applies at position i; rel[i] relates parts[i] to
+	// parts[i-1]'s subject (rel[0] is combinatorNone).
+	parts []compound
+	rel   []combinator
+	src   string
+}
+
+// SelectorList is a comma-separated group of selectors.
+type SelectorList struct {
+	Selectors []*Selector
+	src       string
+}
+
+// String returns the original source of the selector.
+func (s *Selector) String() string { return s.src }
+
+// String returns the original source of the selector list.
+func (l *SelectorList) String() string { return l.src }
+
+// ParseSelector parses a single complex selector (no commas).
+func ParseSelector(src string) (*Selector, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, ErrEmptySelector
+	}
+	if strings.Contains(src, ",") {
+		return nil, fmt.Errorf("cssx: selector %q contains a comma; use ParseSelectorList", src)
+	}
+	sel := &Selector{src: src}
+	rest := src
+	nextRel := combinatorNone
+	for {
+		rest = strings.TrimLeft(rest, " \t\n")
+		if rest == "" {
+			break
+		}
+		if rest[0] == '>' || rest[0] == '+' || rest[0] == '~' {
+			if nextRel != combinatorDescendant || len(sel.parts) == 0 {
+				return nil, fmt.Errorf("cssx: misplaced %q in %q", rest[0], src)
+			}
+			switch rest[0] {
+			case '>':
+				nextRel = combinatorChild
+			case '+':
+				nextRel = combinatorAdjacent
+			case '~':
+				nextRel = combinatorSibling
+			}
+			rest = rest[1:]
+			continue
+		}
+		comp, remaining, err := parseCompound(rest)
+		if err != nil {
+			return nil, fmt.Errorf("cssx: parsing %q: %w", src, err)
+		}
+		sel.parts = append(sel.parts, comp)
+		sel.rel = append(sel.rel, nextRel)
+		nextRel = combinatorDescendant
+		rest = remaining
+	}
+	if len(sel.parts) == 0 {
+		return nil, ErrEmptySelector
+	}
+	if nextRel != combinatorDescendant && nextRel != combinatorNone {
+		return nil, fmt.Errorf("cssx: selector %q ends with a combinator", src)
+	}
+	if sel.rel[0] != combinatorNone {
+		return nil, fmt.Errorf("cssx: selector %q begins with a combinator", src)
+	}
+	return sel, nil
+}
+
+// ParseSelectorList parses a comma-separated selector group.
+func ParseSelectorList(src string) (*SelectorList, error) {
+	list := &SelectorList{src: strings.TrimSpace(src)}
+	for _, part := range strings.Split(src, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sel, err := ParseSelector(part)
+		if err != nil {
+			return nil, err
+		}
+		list.Selectors = append(list.Selectors, sel)
+	}
+	if len(list.Selectors) == 0 {
+		return nil, ErrEmptySelector
+	}
+	return list, nil
+}
+
+// parseCompound parses one compound selector at the head of src and returns
+// the remaining input.
+func parseCompound(src string) (compound, string, error) {
+	var c compound
+	i := 0
+	readName := func() string {
+		start := i
+		for i < len(src) {
+			ch := src[i]
+			if ch == '#' || ch == '.' || ch == '[' || ch == '>' || ch == '+' || ch == '~' ||
+				ch == ' ' || ch == '\t' || ch == '\n' || ch == ',' {
+				break
+			}
+			i++
+		}
+		return src[start:i]
+	}
+	// Leading tag or universal.
+	if i < len(src) && src[i] != '#' && src[i] != '.' && src[i] != '[' {
+		if src[i] == '*' {
+			c.tag = "*"
+			i++
+		} else {
+			name := readName()
+			if name == "" {
+				return c, src, fmt.Errorf("expected tag name at %q", src)
+			}
+			// Strip unsupported pseudo-classes (":hover" etc.) — they never
+			// match differently in a static DOM, so ignoring them is the
+			// most useful degradation.
+			if idx := strings.IndexByte(name, ':'); idx >= 0 {
+				name = name[:idx]
+			}
+			if !isValidTagName(name) {
+				return c, src, fmt.Errorf("invalid tag name %q", name)
+			}
+			c.tag = strings.ToLower(name)
+		}
+	}
+	empty := c.tag == ""
+	for i < len(src) {
+		switch src[i] {
+		case '#':
+			i++
+			name := readName()
+			if name == "" {
+				return c, src, errors.New("empty id selector")
+			}
+			c.id = name
+			empty = false
+		case '.':
+			i++
+			name := readName()
+			if name == "" {
+				return c, src, errors.New("empty class selector")
+			}
+			c.classes = append(c.classes, name)
+			empty = false
+		case '[':
+			end := strings.IndexByte(src[i:], ']')
+			if end < 0 {
+				return c, src, errors.New("unterminated attribute selector")
+			}
+			body := src[i+1 : i+end]
+			i += end + 1
+			am, err := parseAttrMatch(body)
+			if err != nil {
+				return c, src, err
+			}
+			c.attrs = append(c.attrs, am)
+			empty = false
+		default:
+			if empty {
+				return c, src, fmt.Errorf("unparsable compound at %q", src[i:])
+			}
+			return c, src[i:], nil
+		}
+	}
+	if empty {
+		return c, src, errors.New("empty compound selector")
+	}
+	return c, "", nil
+}
+
+// parseAttrMatch parses the body of an [attr] / [attr=v] / [attr^=v]
+// condition.
+func parseAttrMatch(body string) (attrMatch, error) {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return attrMatch{}, errors.New("empty attribute selector")
+	}
+	if idx := strings.Index(body, "^="); idx >= 0 {
+		return attrMatch{
+			key:    strings.ToLower(strings.TrimSpace(body[:idx])),
+			val:    trimQuotes(strings.TrimSpace(body[idx+2:])),
+			prefix: true,
+		}, nil
+	}
+	if idx := strings.IndexByte(body, '='); idx >= 0 {
+		return attrMatch{
+			key:   strings.ToLower(strings.TrimSpace(body[:idx])),
+			val:   trimQuotes(strings.TrimSpace(body[idx+1:])),
+			exact: true,
+		}, nil
+	}
+	return attrMatch{key: strings.ToLower(body)}, nil
+}
+
+func trimQuotes(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// matchCompound reports whether a single compound selector matches node.
+func matchCompound(c compound, n *htmlx.Node) bool {
+	if n.Type != htmlx.ElementNode {
+		return false
+	}
+	if c.tag != "" && c.tag != "*" && n.Tag != c.tag {
+		return false
+	}
+	if c.id != "" && n.ID() != c.id {
+		return false
+	}
+	for _, class := range c.classes {
+		if !n.HasClass(class) {
+			return false
+		}
+	}
+	for _, am := range c.attrs {
+		val, ok := n.Attr(am.key)
+		if !ok {
+			return false
+		}
+		switch {
+		case am.prefix:
+			if !strings.HasPrefix(val, am.val) {
+				return false
+			}
+		case am.exact:
+			if val != am.val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Matches reports whether the selector matches node n (which must be within
+// a tree, since ancestor combinators walk Parent pointers).
+func (s *Selector) Matches(n *htmlx.Node) bool {
+	return s.matchFrom(len(s.parts)-1, n)
+}
+
+// matchFrom matches parts[0..i] with parts[i] anchored at n, walking
+// right-to-left.
+func (s *Selector) matchFrom(i int, n *htmlx.Node) bool {
+	if !matchCompound(s.parts[i], n) {
+		return false
+	}
+	if i == 0 {
+		return true
+	}
+	switch s.rel[i] {
+	case combinatorChild:
+		if n.Parent == nil {
+			return false
+		}
+		return s.matchFrom(i-1, n.Parent)
+	case combinatorDescendant:
+		for anc := n.Parent; anc != nil; anc = anc.Parent {
+			if s.matchFrom(i-1, anc) {
+				return true
+			}
+		}
+		return false
+	case combinatorAdjacent:
+		prev := prevElementSibling(n)
+		if prev == nil {
+			return false
+		}
+		return s.matchFrom(i-1, prev)
+	case combinatorSibling:
+		for prev := prevElementSibling(n); prev != nil; prev = prevElementSibling(prev) {
+			if s.matchFrom(i-1, prev) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// prevElementSibling returns the nearest preceding element sibling of n,
+// or nil.
+func prevElementSibling(n *htmlx.Node) *htmlx.Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var prev *htmlx.Node
+	for _, c := range n.Parent.Children {
+		if c == n {
+			return prev
+		}
+		if c.Type == htmlx.ElementNode {
+			prev = c
+		}
+	}
+	return nil
+}
+
+// Matches reports whether any selector in the list matches n.
+func (l *SelectorList) Matches(n *htmlx.Node) bool {
+	for _, s := range l.Selectors {
+		if s.Matches(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Select returns all elements under root (in document order) matched by the
+// selector.
+func (s *Selector) Select(root *htmlx.Node) []*htmlx.Node {
+	return root.FindAll(s.Matches)
+}
+
+// Select returns all elements under root matched by any selector in the
+// list.
+func (l *SelectorList) Select(root *htmlx.Node) []*htmlx.Node {
+	return root.FindAll(l.Matches)
+}
+
+// Query is a convenience that parses sel as a selector list and returns the
+// matches under root.
+func Query(root *htmlx.Node, sel string) ([]*htmlx.Node, error) {
+	list, err := ParseSelectorList(sel)
+	if err != nil {
+		return nil, err
+	}
+	return list.Select(root), nil
+}
+
+// Specificity is the CSS (id, class, type) specificity triple.
+type Specificity struct {
+	IDs, Classes, Types int
+}
+
+// Compare returns -1, 0, or +1 as a is less than, equal to, or greater
+// than b.
+func (a Specificity) Compare(b Specificity) int {
+	if a.IDs != b.IDs {
+		return sign(a.IDs - b.IDs)
+	}
+	if a.Classes != b.Classes {
+		return sign(a.Classes - b.Classes)
+	}
+	return sign(a.Types - b.Types)
+}
+
+// isValidTagName reports whether name is a plausible element name: a
+// leading ASCII letter followed by letters, digits, or dashes.
+func isValidTagName(name string) bool {
+	if name == "" {
+		return false
+	}
+	c := name[0]
+	if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Specificity returns the selector's specificity.
+func (s *Selector) Specificity() Specificity {
+	var sp Specificity
+	for _, c := range s.parts {
+		if c.id != "" {
+			sp.IDs++
+		}
+		sp.Classes += len(c.classes) + len(c.attrs)
+		if c.tag != "" && c.tag != "*" {
+			sp.Types++
+		}
+	}
+	return sp
+}

@@ -1,0 +1,325 @@
+package cssx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kaleidoscope/internal/htmlx"
+)
+
+const testDoc = `
+<html><body>
+  <div id="main" class="container">
+    <nav id="navbar" class="nav top"><a href="/home" class="link">Home</a></nav>
+    <div id="content">
+      <p class="lead">First paragraph</p>
+      <p>Second <a href="https://x.test" class="link ext">link</a></p>
+      <section data-kind="refs"><p class="lead deep">Nested</p></section>
+    </div>
+  </div>
+</body></html>`
+
+func parseDoc(t *testing.T) *htmlx.Node {
+	t.Helper()
+	return htmlx.Parse(testDoc)
+}
+
+func TestParseSelectorErrors(t *testing.T) {
+	cases := []string{"", "  ", ">", "> p", "#", ".", "div >", "a, b", "[", "p[unterminated"}
+	for _, src := range cases {
+		if _, err := ParseSelector(src); err == nil {
+			t.Errorf("ParseSelector(%q) should fail", src)
+		}
+	}
+}
+
+func TestSelectorMatching(t *testing.T) {
+	doc := parseDoc(t)
+	tests := []struct {
+		sel  string
+		want int
+	}{
+		{"p", 3},
+		{"#main", 1},
+		{".lead", 2},
+		{"p.lead", 2},
+		{"#content p", 3},
+		{"#content > p", 2},
+		{"section p", 1},
+		{"div p", 3},
+		{"nav a", 1},
+		{"a.link", 2},
+		{"a.link.ext", 1},
+		{"*", 11},
+		{"[data-kind]", 1},
+		{`[data-kind="refs"]`, 1},
+		{`[data-kind="other"]`, 0},
+		{`a[href^="https"]`, 1},
+		{`a[href^="/"]`, 1},
+		{"div div", 1},
+		{"#navbar .link", 1},
+		{"#content .link", 1},
+		{"span", 0},
+		{"#missing", 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.sel, func(t *testing.T) {
+			got, err := Query(doc, tt.sel)
+			if err != nil {
+				t.Fatalf("Query(%q): %v", tt.sel, err)
+			}
+			if len(got) != tt.want {
+				t.Errorf("Query(%q) = %d nodes, want %d", tt.sel, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestSelectorList(t *testing.T) {
+	doc := parseDoc(t)
+	got, err := Query(doc, "nav, section p, #missing")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("list query = %d nodes, want 2", len(got))
+	}
+	if _, err := ParseSelectorList(", ,"); err == nil {
+		t.Error("all-empty list should fail")
+	}
+	list, err := ParseSelectorList(" p , a ")
+	if err != nil {
+		t.Fatalf("ParseSelectorList: %v", err)
+	}
+	if len(list.Selectors) != 2 {
+		t.Errorf("selectors = %d, want 2", len(list.Selectors))
+	}
+}
+
+func TestPseudoClassesIgnored(t *testing.T) {
+	doc := parseDoc(t)
+	got, err := Query(doc, "a:hover")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("a:hover should match like bare 'a': got %d, want 2", len(got))
+	}
+}
+
+func TestSpecificity(t *testing.T) {
+	tests := []struct {
+		sel  string
+		want Specificity
+	}{
+		{"p", Specificity{0, 0, 1}},
+		{".lead", Specificity{0, 1, 0}},
+		{"#main", Specificity{1, 0, 0}},
+		{"div#main p.lead", Specificity{1, 1, 2}},
+		{"*", Specificity{0, 0, 0}},
+		{"[data-kind] p", Specificity{0, 1, 1}},
+	}
+	for _, tt := range tests {
+		sel, err := ParseSelector(tt.sel)
+		if err != nil {
+			t.Fatalf("ParseSelector(%q): %v", tt.sel, err)
+		}
+		if got := sel.Specificity(); got != tt.want {
+			t.Errorf("Specificity(%q) = %+v, want %+v", tt.sel, got, tt.want)
+		}
+	}
+}
+
+func TestSpecificityCompare(t *testing.T) {
+	id := Specificity{1, 0, 0}
+	class := Specificity{0, 1, 0}
+	typ := Specificity{0, 0, 1}
+	if id.Compare(class) != 1 || class.Compare(id) != -1 {
+		t.Error("id should outrank class")
+	}
+	if class.Compare(typ) != 1 {
+		t.Error("class should outrank type")
+	}
+	if typ.Compare(typ) != 0 {
+		t.Error("equal should compare 0")
+	}
+	if (Specificity{0, 1, 5}).Compare(Specificity{0, 1, 2}) != 1 {
+		t.Error("types should break class ties")
+	}
+}
+
+func TestMatchesNonElement(t *testing.T) {
+	sel, err := ParseSelector("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := htmlx.NewText("x")
+	if sel.Matches(text) {
+		t.Error("selectors must not match text nodes")
+	}
+}
+
+func TestChildCombinatorAtRoot(t *testing.T) {
+	doc := parseDoc(t)
+	sel, err := ParseSelector("body > div > nav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Select(doc); len(got) != 1 || got[0].ID() != "navbar" {
+		t.Errorf("body > div > nav = %+v", got)
+	}
+	// A child chain that skips a level must not match.
+	sel2, err := ParseSelector("body > nav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel2.Select(doc); len(got) != 0 {
+		t.Errorf("body > nav should not match, got %d", len(got))
+	}
+}
+
+func TestSelectorString(t *testing.T) {
+	sel, err := ParseSelector("  #content p  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.String() != "#content p" {
+		t.Errorf("String = %q", sel.String())
+	}
+}
+
+// TestParseSelectorNeverPanicsProperty throws arbitrary strings at the
+// parser: it must never panic, and successful parses must match something
+// or nothing without crashing.
+func TestParseSelectorNeverPanicsProperty(t *testing.T) {
+	doc := htmlx.Parse(testDoc)
+	f := func(src string) bool {
+		sel, err := ParseSelector(src)
+		if err != nil {
+			return true
+		}
+		_ = sel.Select(doc)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectMatchesConsistentProperty: every node returned by Select
+// satisfies Matches, for a fixed pool of realistic selectors.
+func TestSelectMatchesConsistentProperty(t *testing.T) {
+	doc := htmlx.Parse(testDoc)
+	pool := []string{"p", "#main", ".lead", "#content p", "div > nav", "a[href]", "*"}
+	for _, src := range pool {
+		sel, err := ParseSelector(src)
+		if err != nil {
+			t.Fatalf("ParseSelector(%q): %v", src, err)
+		}
+		for _, n := range sel.Select(doc) {
+			if !sel.Matches(n) {
+				t.Errorf("Select(%q) returned non-matching node %s", src, n.Tag)
+			}
+		}
+	}
+}
+
+func TestQueryBadSelector(t *testing.T) {
+	doc := parseDoc(t)
+	if _, err := Query(doc, ""); err == nil {
+		t.Error("empty selector should error")
+	}
+}
+
+func TestAttrSelectorQuoted(t *testing.T) {
+	doc := htmlx.Parse(`<input type="text" name='user'>`)
+	for _, sel := range []string{`input[type=text]`, `input[type="text"]`, `input[name='user']`} {
+		got, err := Query(doc, sel)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", sel, err)
+		}
+		if len(got) != 1 {
+			t.Errorf("Query(%q) = %d, want 1", sel, len(got))
+		}
+	}
+}
+
+func TestCompoundStopsAtComma(t *testing.T) {
+	// Guard against the compound reader swallowing commas.
+	list, err := ParseSelectorList("p.lead,nav")
+	if err != nil {
+		t.Fatalf("ParseSelectorList: %v", err)
+	}
+	if len(list.Selectors) != 2 {
+		t.Fatalf("selectors = %d, want 2", len(list.Selectors))
+	}
+	doc := parseDoc(t)
+	if got := list.Select(doc); len(got) != 3 {
+		t.Errorf("matches = %d, want 3 (2 .lead + nav)", len(got))
+	}
+}
+
+func TestDescendantRequiresAncestor(t *testing.T) {
+	doc := htmlx.Parse(`<div><p>in</p></div><p>out</p>`)
+	sel, err := ParseSelector("div p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sel.Select(doc)
+	if len(got) != 1 || strings.TrimSpace(got[0].Text()) != "in" {
+		t.Errorf("div p = %d matches", len(got))
+	}
+}
+
+func TestSiblingCombinators(t *testing.T) {
+	doc := htmlx.Parse(`<div><h2>t</h2><p id="first">a</p><span>x</span><p id="second">b</p><p id="third">c</p></div>`)
+	tests := []struct {
+		sel  string
+		want []string
+	}{
+		{"h2 + p", []string{"first"}},
+		{"p + p", []string{"third"}},     // only third directly follows a p
+		{"span + p", []string{"second"}}, // text between siblings is skipped
+		{"h2 ~ p", []string{"first", "second", "third"}},
+		{"span ~ p", []string{"second", "third"}},
+		{"p ~ span", []string{"span"}}, // span follows p#first
+	}
+	for _, tt := range tests {
+		t.Run(tt.sel, func(t *testing.T) {
+			got, err := Query(doc, tt.sel)
+			if err != nil {
+				t.Fatalf("Query(%q): %v", tt.sel, err)
+			}
+			var ids []string
+			for _, n := range got {
+				id := n.ID()
+				if id == "" {
+					id = n.Tag
+				}
+				ids = append(ids, id)
+			}
+			if len(ids) != len(tt.want) {
+				t.Fatalf("Query(%q) = %v, want %v", tt.sel, ids, tt.want)
+			}
+			for i := range tt.want {
+				if ids[i] != tt.want[i] {
+					t.Errorf("Query(%q)[%d] = %q, want %q", tt.sel, i, ids[i], tt.want[i])
+				}
+			}
+		})
+	}
+	// Compact forms parse too.
+	if _, err := ParseSelector("h2+p"); err != nil {
+		t.Errorf("compact adjacent: %v", err)
+	}
+	if _, err := ParseSelector("h2~p"); err != nil {
+		t.Errorf("compact sibling: %v", err)
+	}
+	// Misplaced combinators fail.
+	for _, bad := range []string{"+ p", "p +", "p + + q", "~x ~"} {
+		if _, err := ParseSelector(bad); err == nil {
+			t.Errorf("ParseSelector(%q) should fail", bad)
+		}
+	}
+}

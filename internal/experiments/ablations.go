@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/netsim"
+	"kaleidoscope/internal/pageload"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/quality"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/rank"
+	"kaleidoscope/internal/render"
+	"kaleidoscope/internal/stats"
+	"kaleidoscope/internal/webgen"
+)
+
+// SortReductionResult quantifies the paper's sorting optimization: when
+// only one comparison question is asked, a comparison sort needs far fewer
+// integrated webpages than the full C(N,2) round-robin, at a small
+// agreement cost under noisy comparators.
+type SortReductionResult struct {
+	Versions int
+	// Mean comparisons per participant.
+	RoundRobinComparisons float64
+	InsertionComparisons  float64
+	MergeComparisons      float64
+	// Mean Kendall tau of each method's ranking against the noise-free
+	// ground truth.
+	RoundRobinTau float64
+	InsertionTau  float64
+	MergeTau      float64
+	Participants  int
+}
+
+// RunSortReduction measures comparison counts and ranking agreement for
+// `participants` simulated workers ranking `versions` font sizes.
+func RunSortReduction(versions, participants int, rng *rand.Rand) (*SortReductionResult, error) {
+	if rng == nil {
+		return nil, errors.New("experiments: nil random source")
+	}
+	if versions < 3 || participants < 1 {
+		return nil, errors.New("experiments: need >=3 versions and >=1 participant")
+	}
+	// Font sizes spread around the population preference.
+	sizes := make([]float64, versions)
+	for i := range sizes {
+		sizes[i] = 8 + float64(i)*3
+	}
+	pop, err := crowd.TrustedCrowd(participants, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &SortReductionResult{Versions: versions, Participants: participants}
+
+	// Ground truth per worker: their noise-free utility order.
+	for _, w := range pop.Workers {
+		truth := make([]float64, versions)
+		for i, pt := range sizes {
+			truth[i] = w.FontUtility(pt)
+		}
+		cmp := func(a, b int) rank.Outcome {
+			switch w.CompareFontSize(sizes[a], sizes[b], rng) {
+			case questionnaire.ChoiceLeft:
+				return rank.OutcomeA
+			case questionnaire.ChoiceRight:
+				return rank.OutcomeB
+			default:
+				return rank.OutcomeTie
+			}
+		}
+		rr, err := rank.FullRoundRobin(versions, cmp)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := rank.InsertionSortRank(versions, cmp)
+		if err != nil {
+			return nil, err
+		}
+		mrg, err := rank.MergeSortRank(versions, cmp)
+		if err != nil {
+			return nil, err
+		}
+		res.RoundRobinComparisons += float64(rr.Comparisons)
+		res.InsertionComparisons += float64(ins.Comparisons)
+		res.MergeComparisons += float64(mrg.Comparisons)
+
+		res.RoundRobinTau += tauAgainstTruth(rr.Order, truth)
+		res.InsertionTau += tauAgainstTruth(ins.Order, truth)
+		res.MergeTau += tauAgainstTruth(mrg.Order, truth)
+	}
+	n := float64(participants)
+	res.RoundRobinComparisons /= n
+	res.InsertionComparisons /= n
+	res.MergeComparisons /= n
+	res.RoundRobinTau /= n
+	res.InsertionTau /= n
+	res.MergeTau /= n
+	return res, nil
+}
+
+// tauAgainstTruth computes Kendall tau between a produced order and the
+// utility-implied ground truth.
+func tauAgainstTruth(order []int, truth []float64) float64 {
+	// Convert order to per-version rank scores (higher = better).
+	n := len(order)
+	score := make([]float64, n)
+	for pos, v := range order {
+		score[v] = float64(n - pos)
+	}
+	tau, err := stats.KendallTau(score, truth)
+	if err != nil {
+		return 0
+	}
+	return tau
+}
+
+// FormatSortReduction renders the ablation table.
+func FormatSortReduction(res *SortReductionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — sorting-based comparison reduction (N=%d versions, %d participants)\n",
+		res.Versions, res.Participants)
+	fmt.Fprintf(&b, "  %-14s %12s %12s\n", "method", "comparisons", "kendall tau")
+	fmt.Fprintf(&b, "  %-14s %12.1f %12.3f\n", "round-robin", res.RoundRobinComparisons, res.RoundRobinTau)
+	fmt.Fprintf(&b, "  %-14s %12.1f %12.3f\n", "insertion", res.InsertionComparisons, res.InsertionTau)
+	fmt.Fprintf(&b, "  %-14s %12.1f %12.3f\n", "merge", res.MergeComparisons, res.MergeTau)
+	return b.String()
+}
+
+// QCAblationResult measures each quality-control component's contribution:
+// with the component alone, how much spam is caught and how much accuracy
+// (agreement with the known-better answer) the kept cohort reaches.
+type QCAblationResult struct {
+	Rows []QCAblationRow
+}
+
+// QCAblationRow is one configuration's outcome.
+type QCAblationRow struct {
+	Name string
+	// Kept is the fraction of workers retained.
+	Kept float64
+	// Accuracy is the kept cohort's agreement with the true answer.
+	Accuracy float64
+}
+
+// RunQCAblation builds a mixed crowd answering a 12pt-vs-22pt comparison
+// (true answer: left) and applies each QC component in isolation plus the
+// full battery.
+func RunQCAblation(workers int, rng *rand.Rand) (*QCAblationResult, error) {
+	if rng == nil {
+		return nil, errors.New("experiments: nil random source")
+	}
+	if workers < 10 {
+		return nil, errors.New("experiments: need at least 10 workers")
+	}
+	pop, err := crowd.OpenCrowd(workers, rng)
+	if err != nil {
+		return nil, err
+	}
+	const comparisons = 6
+	sessions := make([]quality.WorkerSession, 0, workers)
+	for _, w := range pop.Workers {
+		s := quality.WorkerSession{WorkerID: w.ID}
+		for i := 0; i < comparisons; i++ {
+			choice := w.CompareFontSize(12, 22, rng)
+			s.Responses = append(s.Responses, questionnaire.Response{
+				TestID: "qc-ablation", WorkerID: w.ID,
+				PageID: fmt.Sprintf("p%d", i), QuestionID: "q0",
+				Choice: choice, DurationMillis: 1,
+			})
+			s.Behaviors = append(s.Behaviors, w.BehaveOnce(rng))
+		}
+		s.Controls = []quality.ControlOutcome{{
+			PageID:   "control-same",
+			Expected: questionnaire.ChoiceSame,
+			Got:      w.CompareFontSize(12, 12, rng),
+		}}
+		sessions = append(sessions, s)
+	}
+
+	accuracy := func(kept []quality.WorkerSession) float64 {
+		total, correct := 0, 0
+		for _, s := range kept {
+			for _, r := range s.Responses {
+				total++
+				if r.Choice == questionnaire.ChoiceLeft {
+					correct++
+				}
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(correct) / float64(total)
+	}
+
+	full := quality.DefaultConfig(comparisons)
+	configs := []struct {
+		name string
+		cfg  quality.Config
+	}{
+		{"none", quality.Config{MaxControlFailures: len(sessions)}},
+		{"engagement only", quality.Config{
+			MinMillisPerComparison: full.MinMillisPerComparison,
+			MaxMillisPerComparison: full.MaxMillisPerComparison,
+			MaxControlFailures:     len(sessions), // effectively off
+		}},
+		{"controls only", quality.Config{MaxControlFailures: 0}},
+		{"majority only", quality.Config{
+			MajorityDeviation:   full.MajorityDeviation,
+			MinPeersForMajority: full.MinPeersForMajority,
+			MaxControlFailures:  len(sessions),
+		}},
+		{"full battery", full},
+	}
+	res := &QCAblationResult{}
+	for _, c := range configs {
+		kept, _, _, err := quality.Filter(sessions, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, QCAblationRow{
+			Name:     c.name,
+			Kept:     float64(len(kept)) / float64(len(sessions)),
+			Accuracy: accuracy(kept),
+		})
+	}
+	return res, nil
+}
+
+// FormatQCAblation renders the component table.
+func FormatQCAblation(res *QCAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation — quality-control components (true answer known)\n")
+	fmt.Fprintf(&b, "  %-18s %10s %10s\n", "configuration", "kept", "accuracy")
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "  %-18s %9.0f%% %9.1f%%\n", row.Name, row.Kept*100, row.Accuracy*100)
+	}
+	return b.String()
+}
+
+// LocalReplayResult quantifies why Kaleidoscope stores pages locally: the
+// spread of visual metrics when the same page loads over heterogeneous
+// networks, versus the zero spread of the local replay.
+type LocalReplayResult struct {
+	// NetworkSpeedIndexMin/Max bound the Speed Index across profiles.
+	NetworkSpeedIndexMin float64
+	NetworkSpeedIndexMax float64
+	// NetworkOnLoadMin/Max bound the classic PLT across profiles (ms).
+	NetworkOnLoadMin float64
+	NetworkOnLoadMax float64
+	// ReplaySpeedIndex is the (single, deterministic) replay value.
+	ReplaySpeedIndex float64
+	RunsPerProfile   int
+}
+
+// RunLocalReplay loads the article over every canonical network profile,
+// converts each trace into a replay spec, and compares the induced visual
+// metrics against the fixed local replay the aggregator ships.
+func RunLocalReplay(runsPerProfile int, rng *rand.Rand) (*LocalReplayResult, error) {
+	if rng == nil {
+		return nil, errors.New("experiments: nil random source")
+	}
+	if runsPerProfile < 1 {
+		return nil, errors.New("experiments: need at least one run per profile")
+	}
+	site := webgen.WikiArticle(webgen.WikiConfig{Seed: 42})
+	regions := map[string][]string{
+		"#navbar":  {"css/style.css"},
+		"#content": {"css/style.css", "img/figure-1.png", "img/figure-2.png"},
+		"#infobox": {"img/lead.png"},
+	}
+	vp := render.DefaultViewport()
+	res := &LocalReplayResult{RunsPerProfile: runsPerProfile}
+	res.NetworkSpeedIndexMin = -1
+	for _, profile := range netsim.AllProfiles() {
+		for i := 0; i < runsPerProfile; i++ {
+			trace, err := netsim.LoadSite(site, profile, rng)
+			if err != nil {
+				return nil, err
+			}
+			spec, err := netsim.SpecFromTrace(trace, regions)
+			if err != nil {
+				return nil, err
+			}
+			doc := htmlx.Parse(string(site.HTML()))
+			replay, err := pageload.Simulate(doc, nil, vp, spec, nil)
+			if err != nil {
+				return nil, err
+			}
+			si := replay.SpeedIndex()
+			if res.NetworkSpeedIndexMin < 0 || si < res.NetworkSpeedIndexMin {
+				res.NetworkSpeedIndexMin = si
+			}
+			if si > res.NetworkSpeedIndexMax {
+				res.NetworkSpeedIndexMax = si
+			}
+			if res.NetworkOnLoadMin == 0 || trace.OnLoadMillis < res.NetworkOnLoadMin {
+				res.NetworkOnLoadMin = trace.OnLoadMillis
+			}
+			if trace.OnLoadMillis > res.NetworkOnLoadMax {
+				res.NetworkOnLoadMax = trace.OnLoadMillis
+			}
+		}
+	}
+	// The fixed replay every tester sees: the paper's 3-second setting.
+	doc := htmlx.Parse(string(site.HTML()))
+	spec := params.PageLoadSpec{Schedule: []params.SelectorTime{
+		{Selector: "#navbar", Millis: 1000},
+		{Selector: "#content", Millis: 3000},
+		{Selector: "#infobox", Millis: 3000},
+	}}
+	replay, err := pageload.Simulate(doc, nil, vp, spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.ReplaySpeedIndex = replay.SpeedIndex()
+	return res, nil
+}
+
+// FormatLocalReplay renders the discrepancy table.
+func FormatLocalReplay(res *LocalReplayResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation — local replay vs live network loading\n")
+	fmt.Fprintf(&b, "  live network Speed Index across profiles: %.0f .. %.0f ms (%.1fx spread)\n",
+		res.NetworkSpeedIndexMin, res.NetworkSpeedIndexMax,
+		res.NetworkSpeedIndexMax/res.NetworkSpeedIndexMin)
+	fmt.Fprintf(&b, "  live network onload across profiles:      %.0f .. %.0f ms\n",
+		res.NetworkOnLoadMin, res.NetworkOnLoadMax)
+	fmt.Fprintf(&b, "  Kaleidoscope local replay Speed Index:    %.0f ms for every tester (zero spread)\n",
+		res.ReplaySpeedIndex)
+	return b.String()
+}

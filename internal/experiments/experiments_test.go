@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kaleidoscope/internal/netsim"
+	"kaleidoscope/internal/questionnaire"
+)
+
+// Small cohort sizes keep the test suite fast; the benches run the full
+// paper-scale cohorts.
+
+func TestRunFig4ShapeSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res, err := RunFig4(Fig4Config{
+		FontSizesPt:  []int{10, 12, 14, 18, 22},
+		CrowdWorkers: 30,
+		InLabWorkers: 15,
+	}, rng)
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	if res.RawWorkers != 30 || res.InLabWorkers != 15 {
+		t.Errorf("cohorts = %d/%d", res.RawWorkers, res.InLabWorkers)
+	}
+	if res.KeptWorkers+res.DroppedWorkers != 30 {
+		t.Errorf("QC accounting: %d + %d", res.KeptWorkers, res.DroppedWorkers)
+	}
+	// Panels are proper distributions.
+	for _, panel := range [][][]float64{res.Raw, res.QualityControlled, res.InLab} {
+		if len(panel) != 5 {
+			t.Fatalf("panel ranks = %d", len(panel))
+		}
+		for pos, row := range panel {
+			var sum float64
+			for _, p := range row {
+				sum += p
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("rank %d sums to %v", pos, sum)
+			}
+		}
+	}
+	// The paper's core finding: 12pt tops the in-lab and QC panels.
+	if TopChoice(res.InLab) != 1 {
+		t.Errorf("in-lab top = %dpt, want 12pt", res.Config.FontSizesPt[TopChoice(res.InLab)])
+	}
+	if TopChoice(res.QualityControlled) != 1 {
+		t.Errorf("QC top = %dpt, want 12pt", res.Config.FontSizesPt[TopChoice(res.QualityControlled)])
+	}
+	// QC panel at least as close to in-lab as the raw panel (the Fig. 4
+	// claim). Allow equality for small cohorts.
+	rawDist := PanelDistance(res.Raw, res.InLab)
+	qcDist := PanelDistance(res.QualityControlled, res.InLab)
+	if qcDist > rawDist+0.05 {
+		t.Errorf("QC should track in-lab: qc=%.3f raw=%.3f", qcDist, rawDist)
+	}
+	// Cost mirrors the paper's $0.11 per worker.
+	if res.CrowdCostUSD < 3.2 || res.CrowdCostUSD > 3.4 {
+		t.Errorf("cost = %v, want 30 x $0.11", res.CrowdCostUSD)
+	}
+	out := FormatFig4(res)
+	for _, want := range []string{"Fig. 4", "rank A", "quality control", "In-lab"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFig4 missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4Errors(t *testing.T) {
+	if _, err := RunFig4(Fig4Config{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := RunFig4(Fig4Config{FontSizesPt: []int{12}}, rng); err == nil {
+		t.Error("single size should fail")
+	}
+}
+
+func TestBuildFig5(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fig4, err := RunFig4(Fig4Config{
+		FontSizesPt:  []int{10, 12, 22},
+		CrowdWorkers: 20,
+		InLabWorkers: 10,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := BuildFig5(fig4)
+	if err != nil {
+		t.Fatalf("BuildFig5: %v", err)
+	}
+	for _, cohort := range []string{CohortRaw, CohortQC, CohortInLab} {
+		if fig5.TimeMinutes[cohort] == nil || fig5.ActiveTabs[cohort] == nil || fig5.CreatedTabs[cohort] == nil {
+			t.Fatalf("cohort %q missing CDFs", cohort)
+		}
+	}
+	// Raw crowd contains hasty workers: its fast tail is faster than
+	// in-lab's.
+	rawFast := quantileOfECDF(fig5.TimeMinutes[CohortRaw], 0.10)
+	labFast := quantileOfECDF(fig5.TimeMinutes[CohortInLab], 0.10)
+	if rawFast > labFast {
+		t.Errorf("raw p10 %.2f should be <= in-lab p10 %.2f", rawFast, labFast)
+	}
+	// QC trims the raw tail (paper: max 3.3 min -> 2.5 min).
+	if fig5.TimeMinutes[CohortQC].Max() > fig5.TimeMinutes[CohortRaw].Max() {
+		t.Error("QC max time should not exceed raw max")
+	}
+	out := FormatFig5(fig5)
+	if !strings.Contains(out, "time on task") || !strings.Contains(out, "p50") {
+		t.Errorf("FormatFig5 output:\n%s", out)
+	}
+}
+
+func TestBuildFig5Errors(t *testing.T) {
+	if _, err := BuildFig5(nil); err == nil {
+		t.Error("nil fig4 should fail")
+	}
+	if _, err := BuildFig5(&Fig4Result{}); err == nil {
+		t.Error("incomplete fig4 should fail")
+	}
+}
+
+func TestRunExpandButtonShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	res, err := RunExpandButton(ExpandButtonConfig{KaleidoscopeWorkers: 40}, rng)
+	if err != nil {
+		t.Fatalf("RunExpandButton: %v", err)
+	}
+	// Fig. 7(a): Kaleidoscope much faster than A/B.
+	if res.Speedup < 3 {
+		t.Errorf("speedup = %.1f, want >> 1 (paper ~12x)", res.Speedup)
+	}
+	// Fig. 7(b): A/B not significant at this scale (usually).
+	c := res.ABCounts
+	if c.VisitorsA+c.VisitorsB != res.Config.AB.RequiredVisitors {
+		t.Errorf("AB visitors = %d", c.VisitorsA+c.VisitorsB)
+	}
+	// Fig. 7(c): the variant (right) wins visibility decisively.
+	vis := res.Tallies[QuestionVisibility]
+	if vis.Right <= vis.Left {
+		t.Errorf("visibility tally = %+v, variant should win", vis)
+	}
+	if !res.VisibilitySignificance.Significant(0.05) {
+		t.Errorf("visibility significance = %+v", res.VisibilitySignificance)
+	}
+	// Fig. 8 shape: appeal is mostly Same (small change), visibility is
+	// decisive for the variant, "looks better" sits between: its variant
+	// share must land between appeal's and visibility's.
+	appeal := res.Tallies[QuestionAppeal]
+	if appeal.Same <= appeal.Left || appeal.Same <= appeal.Right {
+		t.Errorf("appeal tally = %+v, Same should dominate", appeal)
+	}
+	looks := res.Tallies[QuestionButtonLook]
+	if looks.Total() == 0 {
+		t.Fatal("missing looks-better tally")
+	}
+	for _, fmtFn := range []func(*ExpandButtonResult) string{FormatFig7a, FormatFig7b, FormatFig7c, FormatFig8} {
+		if out := fmtFn(res); len(out) < 40 {
+			t.Errorf("format output too short: %q", out)
+		}
+	}
+}
+
+func TestRunExpandButtonErrors(t *testing.T) {
+	if _, err := RunExpandButton(ExpandButtonConfig{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestRunFig9Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	res, err := RunFig9(Fig9Config{Workers: 40}, rng)
+	if err != nil {
+		t.Fatalf("RunFig9: %v", err)
+	}
+	// Version B (text first, right side) wins both raw and filtered.
+	if res.Raw.Proportion(questionnaire.ChoiceRight) <= res.Raw.Proportion(questionnaire.ChoiceLeft) {
+		t.Errorf("raw tally = %+v, text-first should win", res.Raw)
+	}
+	if res.Filtered.Total() == 0 {
+		t.Fatal("filtered tally empty")
+	}
+	if res.Filtered.Proportion(questionnaire.ChoiceRight) <= res.Filtered.Proportion(questionnaire.ChoiceLeft) {
+		t.Errorf("filtered tally = %+v", res.Filtered)
+	}
+	out := FormatFig9(res)
+	if !strings.Contains(out, "Fig. 9") {
+		t.Errorf("FormatFig9 output:\n%s", out)
+	}
+}
+
+func TestRunFig9Errors(t *testing.T) {
+	if _, err := RunFig9(Fig9Config{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := RunFig9(Fig9Config{EarlyMillis: 4000, FullMillis: 2000}, rng); err == nil {
+		t.Error("inverted reveal times should fail")
+	}
+}
+
+func TestRunSortReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := RunSortReduction(5, 50, rng)
+	if err != nil {
+		t.Fatalf("RunSortReduction: %v", err)
+	}
+	if res.RoundRobinComparisons != 10 {
+		t.Errorf("round-robin comparisons = %v, want exactly C(5,2)=10", res.RoundRobinComparisons)
+	}
+	if res.InsertionComparisons >= res.RoundRobinComparisons {
+		t.Errorf("insertion %v should beat round-robin %v", res.InsertionComparisons, res.RoundRobinComparisons)
+	}
+	if res.MergeComparisons >= res.RoundRobinComparisons {
+		t.Errorf("merge %v should beat round-robin %v", res.MergeComparisons, res.RoundRobinComparisons)
+	}
+	// All methods stay usefully correlated with the truth.
+	for name, tau := range map[string]float64{
+		"round-robin": res.RoundRobinTau, "insertion": res.InsertionTau, "merge": res.MergeTau,
+	} {
+		if tau < 0.4 {
+			t.Errorf("%s tau = %v, too low", name, tau)
+		}
+	}
+	if out := FormatSortReduction(res); !strings.Contains(out, "round-robin") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunSortReductionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := RunSortReduction(5, 10, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunSortReduction(2, 10, rng); err == nil {
+		t.Error("too few versions should fail")
+	}
+}
+
+func TestRunQCAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	res, err := RunQCAblation(120, rng)
+	if err != nil {
+		t.Fatalf("RunQCAblation: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]QCAblationRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	none := byName["none"]
+	full := byName["full battery"]
+	if none.Kept != 1 {
+		t.Errorf("no-QC kept = %v, want 1", none.Kept)
+	}
+	if full.Kept >= 1 {
+		t.Error("full battery should drop someone in an open crowd")
+	}
+	if full.Accuracy <= none.Accuracy {
+		t.Errorf("full battery accuracy %v should beat none %v", full.Accuracy, none.Accuracy)
+	}
+	if out := FormatQCAblation(res); !strings.Contains(out, "full battery") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunQCAblationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if _, err := RunQCAblation(120, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunQCAblation(5, rng); err == nil {
+		t.Error("tiny cohort should fail")
+	}
+}
+
+func TestRunLocalReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	res, err := RunLocalReplay(3, rng)
+	if err != nil {
+		t.Fatalf("RunLocalReplay: %v", err)
+	}
+	if res.NetworkSpeedIndexMax <= res.NetworkSpeedIndexMin {
+		t.Errorf("network SI spread = [%v, %v]", res.NetworkSpeedIndexMin, res.NetworkSpeedIndexMax)
+	}
+	// The paper's motivation: cross-network spread is large.
+	if res.NetworkSpeedIndexMax/res.NetworkSpeedIndexMin < 2 {
+		t.Errorf("SI spread %vx suspiciously small", res.NetworkSpeedIndexMax/res.NetworkSpeedIndexMin)
+	}
+	if res.ReplaySpeedIndex <= 0 {
+		t.Error("replay SI should be positive")
+	}
+	if out := FormatLocalReplay(res); !strings.Contains(out, "zero spread") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunLocalReplayErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := RunLocalReplay(1, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunLocalReplay(0, rng); err == nil {
+		t.Error("zero runs should fail")
+	}
+}
+
+func TestRunPresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	res, err := RunPresentation(400, rng)
+	if err != nil {
+		t.Fatalf("RunPresentation: %v", err)
+	}
+	// Side-by-side viewing beats comparing against memory.
+	if res.SideBySideAccuracy <= res.SequentialAccuracy {
+		t.Errorf("side-by-side %.3f should beat sequential %.3f",
+			res.SideBySideAccuracy, res.SequentialAccuracy)
+	}
+	if res.SideBySideAccuracy <= 0.3 {
+		t.Errorf("side-by-side accuracy %.3f implausibly low", res.SideBySideAccuracy)
+	}
+	if out := FormatPresentation(res); !strings.Contains(out, "side-by-side") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunPresentationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	if _, err := RunPresentation(100, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunPresentation(3, rng); err == nil {
+		t.Error("tiny cohort should fail")
+	}
+}
+
+func TestRunSortedStudy(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	res, err := RunSortedStudy(25, rng)
+	if err != nil {
+		t.Fatalf("RunSortedStudy: %v", err)
+	}
+	if res.FullComparisons != 10 {
+		t.Errorf("full comparisons = %v, want C(5,2)=10", res.FullComparisons)
+	}
+	if res.SortedComparisons >= res.FullComparisons {
+		t.Errorf("sorted %v should beat full %v", res.SortedComparisons, res.FullComparisons)
+	}
+	if len(res.FullOrder) != 5 || len(res.SortedOrder) != 5 {
+		t.Fatalf("orders = %v / %v", res.FullOrder, res.SortedOrder)
+	}
+	// Both aggregate orders put 12pt (index 1) first and agree strongly.
+	if res.FullOrder[0] != 1 || res.SortedOrder[0] != 1 {
+		t.Errorf("top versions: full=%v sorted=%v, want 12pt first", res.FullOrder, res.SortedOrder)
+	}
+	if res.OrderAgreement < 0.6 {
+		t.Errorf("order agreement tau = %v, too low", res.OrderAgreement)
+	}
+	if out := FormatSortedStudy(res); !strings.Contains(out, "sorted") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunSortedStudyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	if _, err := RunSortedStudy(25, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunSortedStudy(2, rng); err == nil {
+		t.Error("tiny cohort should fail")
+	}
+}
+
+func TestRunProtocolStudy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	res, err := RunProtocolStudy(netsim.ProfileSatell, 30, rng)
+	if err != nil {
+		t.Fatalf("RunProtocolStudy: %v", err)
+	}
+	if res.H2OnLoadMillis >= res.H1OnLoadMillis {
+		t.Errorf("h2 onload %v should beat h1 %v on satellite", res.H2OnLoadMillis, res.H1OnLoadMillis)
+	}
+	if res.Raw.Total() != 30 {
+		t.Errorf("raw total = %d", res.Raw.Total())
+	}
+	// The faster protocol (right side) should not lose the vote.
+	if res.Raw.Proportion(questionnaire.ChoiceRight) < res.Raw.Proportion(questionnaire.ChoiceLeft) {
+		t.Errorf("raw tally = %+v, http/2 should not lose", res.Raw)
+	}
+	if out := FormatProtocolStudy(res); !strings.Contains(out, "http/2.0") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunProtocolStudyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	if _, err := RunProtocolStudy(netsim.ProfileCable, 30, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := RunProtocolStudy(netsim.ProfileCable, 2, rng); err == nil {
+		t.Error("tiny cohort should fail")
+	}
+}
+
+func TestRunStability(t *testing.T) {
+	res, err := RunStability(3, 20, 100)
+	if err != nil {
+		t.Fatalf("RunStability: %v", err)
+	}
+	if res.Seeds != 3 {
+		t.Errorf("seeds = %d", res.Seeds)
+	}
+	// Headline findings should hold in most reduced-scale seeds.
+	if res.VisibilityWins < 2 {
+		t.Errorf("visibility wins = %d/3", res.VisibilityWins)
+	}
+	if res.Fig9BWins < 2 {
+		t.Errorf("fig9 wins = %d/3", res.Fig9BWins)
+	}
+	if res.SpeedupMin <= 0 || res.SpeedupMax < res.SpeedupMin {
+		t.Errorf("speedup band = [%v, %v]", res.SpeedupMin, res.SpeedupMax)
+	}
+	if out := FormatStability(res); !strings.Contains(out, "Robustness") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestRunStabilityErrors(t *testing.T) {
+	if _, err := RunStability(1, 20, 1); err == nil {
+		t.Error("too few seeds should fail")
+	}
+	if _, err := RunStability(3, 2, 1); err == nil {
+		t.Error("tiny cohort should fail")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kaleidoscope/internal/questionnaire"
+)
+
+// StabilityResult reports how stable the headline findings are across
+// independent simulation seeds — the reproduction-level analogue of
+// re-running the paper's crowd studies with fresh cohorts. Reduced cohort
+// sizes keep a sweep cheap; the question is winner stability, not exact
+// shares.
+type StabilityResult struct {
+	Seeds   int
+	Workers int
+	// Font12Wins counts seeds where 12pt topped the QC ranking panel.
+	Font12Wins int
+	// VisibilityWins counts seeds where the variant button won question C.
+	VisibilityWins int
+	// Fig9BWins counts seeds where the text-first version won Fig. 9.
+	Fig9BWins int
+	// SpeedupMin/Max bound the recruitment speedup across seeds.
+	SpeedupMin, SpeedupMax float64
+}
+
+// RunStability executes the three headline experiments across `seeds`
+// consecutive seeds at reduced scale (`workers` per cohort).
+func RunStability(seeds, workers int, baseSeed int64) (*StabilityResult, error) {
+	if seeds < 2 {
+		return nil, errors.New("experiments: need at least 2 seeds")
+	}
+	if workers < 10 {
+		return nil, errors.New("experiments: need at least 10 workers")
+	}
+	res := &StabilityResult{Seeds: seeds, Workers: workers}
+	for i := 0; i < seeds; i++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(i)))
+
+		fig4, err := RunFig4(Fig4Config{
+			CrowdWorkers: workers,
+			InLabWorkers: workers / 2,
+		}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d fig4: %w", i, err)
+		}
+		if TopChoice(fig4.QualityControlled) == 1 { // index 1 = 12pt
+			res.Font12Wins++
+		}
+
+		// Match the two arms' cohort sizes so the speedup compares like
+		// with like.
+		abCfg := ExpandButtonConfig{KaleidoscopeWorkers: workers}.withDefaults().AB
+		abCfg.RequiredVisitors = workers
+		expand, err := RunExpandButton(ExpandButtonConfig{KaleidoscopeWorkers: workers, AB: abCfg}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d expand: %w", i, err)
+		}
+		vis := expand.Tallies[QuestionVisibility]
+		if vis.Right > vis.Left {
+			res.VisibilityWins++
+		}
+		if res.SpeedupMin == 0 || expand.Speedup < res.SpeedupMin {
+			res.SpeedupMin = expand.Speedup
+		}
+		if expand.Speedup > res.SpeedupMax {
+			res.SpeedupMax = expand.Speedup
+		}
+
+		fig9, err := RunFig9(Fig9Config{Workers: workers}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d fig9: %w", i, err)
+		}
+		if fig9.Raw.Proportion(questionnaire.ChoiceRight) > fig9.Raw.Proportion(questionnaire.ChoiceLeft) {
+			res.Fig9BWins++
+		}
+	}
+	return res, nil
+}
+
+// FormatStability renders the sweep.
+func FormatStability(res *StabilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness — headline findings across %d seeds (%d workers per cohort)\n",
+		res.Seeds, res.Workers)
+	fmt.Fprintf(&b, "  12pt tops the QC font ranking:        %d/%d seeds\n", res.Font12Wins, res.Seeds)
+	fmt.Fprintf(&b, "  variant button wins visibility (C):   %d/%d seeds\n", res.VisibilityWins, res.Seeds)
+	fmt.Fprintf(&b, "  text-first wins the uPLT study (9):   %d/%d seeds\n", res.Fig9BWins, res.Seeds)
+	fmt.Fprintf(&b, "  recruitment speedup vs A/B:           %.1fx .. %.1fx\n", res.SpeedupMin, res.SpeedupMax)
+	return b.String()
+}

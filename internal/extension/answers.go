@@ -1,0 +1,211 @@
+package extension
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/cssx"
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/pageload"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/questionnaire"
+)
+
+// emptySpec is the instant-display schedule.
+func emptySpec() params.PageLoadSpec { return params.PageLoadSpec{} }
+
+// styleOf collects a document's inline <style> sheets into one stylesheet.
+// Aggregator output always inlines external CSS, so this sees everything.
+func styleOf(doc *htmlx.Node) *cssx.Stylesheet {
+	var src strings.Builder
+	for _, style := range doc.ByTag("style") {
+		for _, c := range style.Children {
+			if c.Type == htmlx.TextNode {
+				src.WriteString(c.Data)
+				src.WriteString("\n")
+			}
+		}
+	}
+	return cssx.ParseStylesheet(src.String())
+}
+
+// MainFontSizePt extracts the computed main-text font size (in points)
+// from a page — what a participant's eye actually judges. It measures the
+// first paragraph inside #content, falling back to the first <p>.
+func MainFontSizePt(doc *htmlx.Node) (float64, bool) {
+	sheet := styleOf(doc)
+	var target *htmlx.Node
+	if content := doc.ByID("content"); content != nil {
+		if ps := content.ByTag("p"); len(ps) > 0 {
+			target = ps[0]
+		}
+	}
+	if target == nil {
+		if ps := doc.ByTag("p"); len(ps) > 0 {
+			target = ps[0]
+		}
+	}
+	if target == nil {
+		return 0, false
+	}
+	style := sheet.ComputedStyle(target)
+	px, ok := cssx.ParsePixels(style["font-size"], 16)
+	if !ok || px <= 0 {
+		return 0, false
+	}
+	return px * 72 / 96, true
+}
+
+// AnswerFontSize judges "which font size is easier to read?" by measuring
+// each side's main-text size and running the worker's font-preference
+// model.
+func AnswerFontSize() AnswerFunc {
+	return func(w *crowd.Worker, ctx *PageContext, _ string, rng *rand.Rand) (questionnaire.Choice, string) {
+		leftPt, okL := MainFontSizePt(ctx.Left)
+		rightPt, okR := MainFontSizePt(ctx.Right)
+		if !okL || !okR {
+			return questionnaire.ChoiceSame, ""
+		}
+		return w.CompareFontSize(leftPt, rightPt, rng), ""
+	}
+}
+
+// ButtonSalience scores how visible a page's Expand button is, in [0, 1].
+// The ingredients mirror the paper's B-version changes: font size (1.5x),
+// a captivating symbol, and placement close to the main text (not tucked
+// into a right-aligned row).
+func ButtonSalience(doc *htmlx.Node) (float64, bool) {
+	sheet := styleOf(doc)
+	btns, err := cssx.Query(doc, ".expand-btn")
+	if err != nil || len(btns) == 0 {
+		return 0, false
+	}
+	btn := btns[0]
+	score := 0.0
+	style := sheet.ComputedStyle(btn)
+	if px, ok := cssx.ParsePixels(style["font-size"], 16); ok {
+		// 12px scores 0.2; 18px scores ~0.5; saturates at 24px.
+		s := (px - 8) / 32
+		if s < 0 {
+			s = 0
+		}
+		if s > 0.5 {
+			s = 0.5
+		}
+		score += s
+	}
+	if strings.Contains(style["font-weight"], "bold") {
+		score += 0.1
+	}
+	// A non-letter symbol in the label (e.g. the paper's captivating
+	// glyph) draws the eye.
+	text := strings.TrimSpace(btn.Text())
+	for _, r := range text {
+		if r > 0x7f {
+			score += 0.15
+			break
+		}
+	}
+	// Inline placement next to the content (not in a dedicated
+	// right-aligned row) reads as closer to the main text.
+	inRow := false
+	for cur := btn.Parent; cur != nil; cur = cur.Parent {
+		if cur.Type == htmlx.ElementNode && cur.HasClass("expand-row") {
+			inRow = true
+			break
+		}
+	}
+	if !inRow {
+		score += 0.15
+	}
+	if score > 1 {
+		score = 1
+	}
+	return score, true
+}
+
+// salienceAnswer builds an AnswerFunc comparing measured button salience
+// with the stimulus damped by the given factor: 1.0 asks directly about
+// the button ("more visible?"); smaller factors model questions where the
+// button is only part of the judgement.
+func salienceAnswer(damping float64) AnswerFunc {
+	return func(w *crowd.Worker, ctx *PageContext, _ string, rng *rand.Rand) (questionnaire.Choice, string) {
+		left, okL := ButtonSalience(ctx.Left)
+		right, okR := ButtonSalience(ctx.Right)
+		if !okL || !okR {
+			return questionnaire.ChoiceSame, ""
+		}
+		return w.CompareSalience(left*damping, right*damping, rng), ""
+	}
+}
+
+// AnswerButtonVisibility judges "which version of the button is more
+// visible?" — the most pointed of the paper's three §IV-B questions.
+func AnswerButtonVisibility() AnswerFunc { return salienceAnswer(1.0) }
+
+// AnswerButtonLooks judges "which version of the button looks better?".
+// Liking is weaker than noticing, so the stimulus is mildly damped; the
+// paper's Fig. 8 shows question B splitting nearly evenly between "Same"
+// and the variant.
+func AnswerButtonLooks() AnswerFunc { return salienceAnswer(0.8) }
+
+// AnswerOverallAppeal judges "which webpage is graphically more
+// appealing?". A small targeted change barely moves whole-page appeal (the
+// paper observes ~50% "Same" on question A), so the stimulus is halved.
+func AnswerOverallAppeal() AnswerFunc { return salienceAnswer(0.5) }
+
+// readinessComments is the pool of free-text feedback readiness answers
+// draw from, echoing the paper's quoted participant comments.
+var readinessComments = []string{
+	"The main text of the article was available to read first.",
+	"Right came fast and came full context instantly comparing to left.",
+	"I could see the text content 2-3 sec faster.",
+	"By browsing and moving are done with the same degree",
+	"",
+	"",
+	"", // most participants leave no comment
+}
+
+// AnswerReadiness judges "which version seems ready to use first?".
+// Each worker blends two readiness readings of the replay — one weighted
+// toward the main text, one toward chrome/navigation — according to their
+// TextFocus trait. The population skews toward text, reproducing the
+// paper's Fig. 9 finding (text-first preferred, but far from unanimously:
+// some participants judge readiness by "browsing and moving").
+func AnswerReadiness() AnswerFunc {
+	return func(w *crowd.Worker, ctx *PageContext, _ string, rng *rand.Rand) (questionnaire.Choice, string) {
+		perceive := func(r *pageload.Replay) float64 {
+			text := r.MeanReadyTime(pageload.ContentWeight)
+			chrome := r.MeanReadyTime(pageload.ChromeWeight)
+			return w.TextFocus*text + (1-w.TextFocus)*chrome
+		}
+		choice := w.CompareReadiness(perceive(ctx.LeftPlay), perceive(ctx.RightPlay), rng)
+		comment := readinessComments[rng.Intn(len(readinessComments))]
+		return choice, comment
+	}
+}
+
+// AnswerByQuestion routes each question text to a dedicated AnswerFunc
+// (matched by substring, case-insensitive, first match in sorted needle
+// order); unmatched questions fall back to the given default.
+func AnswerByQuestion(routes map[string]AnswerFunc, fallback AnswerFunc) AnswerFunc {
+	needles := make([]string, 0, len(routes))
+	for needle := range routes {
+		needles = append(needles, needle)
+	}
+	sort.Strings(needles)
+	return func(w *crowd.Worker, ctx *PageContext, question string, rng *rand.Rand) (questionnaire.Choice, string) {
+		lower := strings.ToLower(question)
+		for _, needle := range needles {
+			if strings.Contains(lower, strings.ToLower(needle)) {
+				return routes[needle](w, ctx, question, rng)
+			}
+		}
+		if fallback != nil {
+			return fallback(w, ctx, question, rng)
+		}
+		return questionnaire.ChoiceSame, ""
+	}
+}

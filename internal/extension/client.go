@@ -1,0 +1,128 @@
+// Package extension simulates Kaleidoscope's browser extension: the client
+// that runs the test flow of the paper's Fig. 3 on a participant's machine.
+// It talks to the core server over its real HTTP API — download the test
+// information, fetch each integrated webpage, replay the page load locally
+// from the injected schedule, answer the comparison questions through the
+// participant's perception model, record behavioural telemetry, and upload
+// the session.
+//
+// The paper implements this logic as a Chrome extension; Chrome is only its
+// host. Everything the extension *does* — the flow, the replay control,
+// the telemetry — lives here and is exercised end-to-end in Go.
+package extension
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"kaleidoscope/internal/server"
+)
+
+// Client is the extension's HTTP side. Idempotent GETs are retried a
+// small number of times on transport errors and 5xx responses, as a real
+// extension facing a flaky connection would.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+	// retries is the number of extra attempts after a retryable failure.
+	retries int
+}
+
+// defaultRetries is the extra-attempt budget for idempotent requests.
+const defaultRetries = 2
+
+// NewClient returns a client for a core server at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpc uses http.DefaultClient.
+func NewClient(baseURL string, httpc *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("extension: empty base URL")
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, httpc: httpc, retries: defaultRetries}, nil
+}
+
+// get issues a GET with retries and decodes errors uniformly.
+func (c *Client) get(path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		body, status, err := c.getOnce(path)
+		switch {
+		case err != nil:
+			lastErr = err // transport error: retry
+		case status == http.StatusOK:
+			return body, nil
+		case status >= 500:
+			lastErr = fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
+		default:
+			// 4xx is definitive; do not retry.
+			return nil, fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) getOnce(path string) ([]byte, int, error) {
+	resp, err := c.httpc.Get(c.baseURL + path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("extension: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("extension: reading %s: %w", path, err)
+	}
+	return body, resp.StatusCode, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+// TestInfo fetches the test description, questions, and page list.
+func (c *Client) TestInfo(testID string) (*server.TestInfo, error) {
+	body, err := c.get("/api/tests/" + testID)
+	if err != nil {
+		return nil, err
+	}
+	var info server.TestInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("extension: decoding test info: %w", err)
+	}
+	return &info, nil
+}
+
+// FetchPageFile downloads one file of an integrated page.
+func (c *Client) FetchPageFile(testID, pageID, file string) ([]byte, error) {
+	return c.get("/api/tests/" + testID + "/pages/" + pageID + "/" + file)
+}
+
+// UploadSession posts a finished session to the core server.
+func (c *Client) UploadSession(testID string, session server.SessionUpload) error {
+	payload, err := json.Marshal(session)
+	if err != nil {
+		return fmt.Errorf("extension: encoding session: %w", err)
+	}
+	resp, err := c.httpc.Post(
+		c.baseURL+"/api/tests/"+testID+"/sessions",
+		"application/json",
+		bytes.NewReader(payload),
+	)
+	if err != nil {
+		return fmt.Errorf("extension: uploading session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("extension: upload rejected: status %d: %s", resp.StatusCode, truncate(body, 200))
+	}
+	return nil
+}

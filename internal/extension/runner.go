@@ -1,0 +1,150 @@
+package extension
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/pageload"
+	"kaleidoscope/internal/quality"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/render"
+	"kaleidoscope/internal/server"
+)
+
+// PageContext is everything the perception model may look at for one
+// side-by-side comparison: the parsed side documents and their simulated
+// replays. This mirrors what a human sees — the rendered pages and their
+// loading behaviour — not the test's metadata.
+type PageContext struct {
+	Page      aggregator.IntegratedPage
+	Left      *htmlx.Node
+	Right     *htmlx.Node
+	LeftPlay  *pageload.Replay
+	RightPlay *pageload.Replay
+}
+
+// AnswerFunc produces a worker's answer (and optional free-text comment)
+// to one question on one page.
+type AnswerFunc func(w *crowd.Worker, ctx *PageContext, question string, rng *rand.Rand) (questionnaire.Choice, string)
+
+// Runner executes the Fig. 3 test flow for one participant.
+type Runner struct {
+	Client *Client
+	Worker *crowd.Worker
+	// Answer decides each comparison; see the Answer* constructors in
+	// answers.go.
+	Answer AnswerFunc
+	// Viewport used for replay simulation; zero value picks the default.
+	Viewport render.Viewport
+	// RNG drives perception noise, behaviour, and uniform replays.
+	RNG *rand.Rand
+}
+
+// Run performs the whole flow and returns the uploaded session. Each
+// integrated page is downloaded, both sides are parsed and replayed, every
+// question is answered, telemetry is recorded, and the session is posted
+// to the core server.
+func (r *Runner) Run(testID string) (*server.SessionUpload, error) {
+	if r.Client == nil || r.Worker == nil || r.Answer == nil {
+		return nil, errors.New("extension: runner missing client, worker, or answer function")
+	}
+	if r.RNG == nil {
+		return nil, errors.New("extension: runner needs a random source")
+	}
+	vp := r.Viewport
+	if vp.Width == 0 || vp.Height == 0 {
+		vp = render.DefaultViewport()
+	}
+
+	info, err := r.Client.TestInfo(testID)
+	if err != nil {
+		return nil, err
+	}
+	session := &server.SessionUpload{
+		TestID:       testID,
+		WorkerID:     r.Worker.ID,
+		Demographics: r.Worker.Demo,
+	}
+
+	for _, page := range info.Pages {
+		ctx, err := r.loadPage(testID, page, vp)
+		if err != nil {
+			return nil, err
+		}
+		behavior := r.Worker.BehaveOnce(r.RNG)
+		session.Behaviors = append(session.Behaviors, behavior)
+
+		for qi, question := range info.Questions {
+			choice, comment := r.Answer(r.Worker, ctx, question, r.RNG)
+			if page.Kind == aggregator.KindControl {
+				// Control pages feed quality control, not results.
+				if qi == 0 {
+					session.Controls = append(session.Controls, quality.ControlOutcome{
+						PageID:   page.ID,
+						Expected: page.Expected,
+						Got:      choice,
+					})
+				}
+				continue
+			}
+			session.Responses = append(session.Responses, questionnaire.Response{
+				TestID:         testID,
+				WorkerID:       r.Worker.ID,
+				PageID:         page.ID,
+				QuestionID:     questionID(qi),
+				Choice:         choice,
+				Comment:        comment,
+				DurationMillis: behavior.TimeOnTaskMillis,
+			})
+		}
+	}
+
+	if err := r.Client.UploadSession(testID, *session); err != nil {
+		return nil, err
+	}
+	return session, nil
+}
+
+// questionID derives the stable id for the i-th question.
+func questionID(i int) string { return fmt.Sprintf("q%d", i) }
+
+// loadPage downloads an integrated page, parses both sides, and simulates
+// their replays from the injected schedules.
+func (r *Runner) loadPage(testID string, page aggregator.IntegratedPage, vp render.Viewport) (*PageContext, error) {
+	// The integrated index page references left.html and right.html; the
+	// extension downloads all three like a browser would.
+	if _, err := r.Client.FetchPageFile(testID, page.ID, "index.html"); err != nil {
+		return nil, err
+	}
+	ctx := &PageContext{Page: page}
+	for _, side := range []struct {
+		file string
+		doc  **htmlx.Node
+		play **pageload.Replay
+	}{
+		{"left.html", &ctx.Left, &ctx.LeftPlay},
+		{"right.html", &ctx.Right, &ctx.RightPlay},
+	} {
+		raw, err := r.Client.FetchPageFile(testID, page.ID, side.file)
+		if err != nil {
+			return nil, err
+		}
+		doc := htmlx.Parse(string(raw))
+		*side.doc = doc
+		spec, err := pageload.ExtractSpec(doc)
+		if err != nil {
+			// Pages without an injected schedule display instantly.
+			spec = emptySpec()
+		}
+		replay, err := pageload.Simulate(doc, styleOf(doc), vp, spec, r.RNG)
+		if err != nil {
+			return nil, fmt.Errorf("extension: replaying %s of %s: %w", side.file, page.ID, err)
+		}
+		*side.play = replay
+	}
+	return ctx, nil
+}

@@ -1,0 +1,235 @@
+package extension
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/quality"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/rank"
+	"kaleidoscope/internal/render"
+	"kaleidoscope/internal/server"
+)
+
+// SortedRunner executes the test flow with the paper's §III-D
+// optimization: when only one comparison question is asked, the
+// participant does not need to see all C(N,2) integrated webpages — a
+// comparison sort (binary insertion here) chooses which pairs to show
+// next based on earlier answers, cutting the comparisons per participant
+// from O(N^2) to O(N log N). Control pages are still always shown.
+type SortedRunner struct {
+	Client   *Client
+	Worker   *crowd.Worker
+	Answer   AnswerFunc
+	Viewport render.Viewport
+	RNG      *rand.Rand
+}
+
+// SortedResult is a sorted session's output: the uploaded session plus the
+// participant's derived ranking.
+type SortedResult struct {
+	Session *server.SessionUpload
+	// Ranking orders version indices best-first.
+	Ranking *rank.Result
+	// VersionNames maps version indices to their web-path names.
+	VersionNames []string
+}
+
+// Run performs the adaptive flow and uploads the (partial) session.
+func (r *SortedRunner) Run(testID string) (*SortedResult, error) {
+	if r.Client == nil || r.Worker == nil || r.Answer == nil {
+		return nil, errors.New("extension: sorted runner missing client, worker, or answer function")
+	}
+	if r.RNG == nil {
+		return nil, errors.New("extension: sorted runner needs a random source")
+	}
+	vp := r.Viewport
+	if vp.Width == 0 || vp.Height == 0 {
+		vp = render.DefaultViewport()
+	}
+	info, err := r.Client.TestInfo(testID)
+	if err != nil {
+		return nil, err
+	}
+	if len(info.Questions) != 1 {
+		return nil, fmt.Errorf("extension: sorted flow requires exactly one question, test has %d", len(info.Questions))
+	}
+
+	pairs, names, err := indexPairs(info.Pages)
+	if err != nil {
+		return nil, err
+	}
+	n := len(names)
+	if n < 2 {
+		return nil, errors.New("extension: sorted flow needs at least two versions")
+	}
+
+	session := &server.SessionUpload{
+		TestID:       testID,
+		WorkerID:     r.Worker.ID,
+		Demographics: r.Worker.Demo,
+	}
+
+	// The comparator visits the integrated page for (a, b) on demand and
+	// turns the side-by-side answer into a sort outcome, recording the
+	// response and telemetry as it goes.
+	var visitErr error
+	cmp := func(a, b int) rank.Outcome {
+		if visitErr != nil {
+			return rank.OutcomeTie
+		}
+		lo, hi, flipped := a, b, false
+		if lo > hi {
+			lo, hi, flipped = b, a, true
+		}
+		page, ok := pairs[[2]int{lo, hi}]
+		if !ok {
+			visitErr = fmt.Errorf("extension: no integrated page for pair (%d,%d)", lo, hi)
+			return rank.OutcomeTie
+		}
+		ctx, err := r.loadPageSorted(testID, page, vp)
+		if err != nil {
+			visitErr = err
+			return rank.OutcomeTie
+		}
+		behavior := r.Worker.BehaveOnce(r.RNG)
+		session.Behaviors = append(session.Behaviors, behavior)
+		choice, comment := r.Answer(r.Worker, ctx, info.Questions[0], r.RNG)
+		session.Responses = append(session.Responses, questionnaire.Response{
+			TestID:         testID,
+			WorkerID:       r.Worker.ID,
+			PageID:         page.ID,
+			QuestionID:     questionID(0),
+			Choice:         choice,
+			Comment:        comment,
+			DurationMillis: behavior.TimeOnTaskMillis,
+		})
+		outcome := choiceToOutcome(choice)
+		if flipped {
+			outcome = mirrorOutcome(outcome)
+		}
+		return outcome
+	}
+
+	ranking, err := rank.InsertionSortRank(n, cmp)
+	if err != nil {
+		return nil, err
+	}
+	if visitErr != nil {
+		return nil, visitErr
+	}
+
+	// Control pages are non-negotiable regardless of flow.
+	for _, page := range info.Pages {
+		if page.Kind != aggregator.KindControl {
+			continue
+		}
+		ctx, err := r.loadPageSorted(testID, page, vp)
+		if err != nil {
+			return nil, err
+		}
+		behavior := r.Worker.BehaveOnce(r.RNG)
+		session.Behaviors = append(session.Behaviors, behavior)
+		choice, _ := r.Answer(r.Worker, ctx, info.Questions[0], r.RNG)
+		session.Controls = append(session.Controls, quality.ControlOutcome{
+			PageID:   page.ID,
+			Expected: page.Expected,
+			Got:      choice,
+		})
+	}
+
+	if err := r.Client.UploadSession(testID, *session); err != nil {
+		return nil, err
+	}
+	return &SortedResult{Session: session, Ranking: ranking, VersionNames: names}, nil
+}
+
+// loadPageSorted reuses the standard page loader through a throwaway
+// Runner, keeping one implementation of download+replay.
+func (r *SortedRunner) loadPageSorted(testID string, page aggregator.IntegratedPage, vp render.Viewport) (*PageContext, error) {
+	base := &Runner{Client: r.Client, Worker: r.Worker, Answer: r.Answer, Viewport: vp, RNG: r.RNG}
+	return base.loadPage(testID, page, vp)
+}
+
+// choiceToOutcome maps a side answer to a sort outcome with the left page
+// as "a".
+func choiceToOutcome(c questionnaire.Choice) rank.Outcome {
+	switch c {
+	case questionnaire.ChoiceLeft:
+		return rank.OutcomeA
+	case questionnaire.ChoiceRight:
+		return rank.OutcomeB
+	default:
+		return rank.OutcomeTie
+	}
+}
+
+// mirrorOutcome swaps A and B.
+func mirrorOutcome(o rank.Outcome) rank.Outcome {
+	switch o {
+	case rank.OutcomeA:
+		return rank.OutcomeB
+	case rank.OutcomeB:
+		return rank.OutcomeA
+	default:
+		return o
+	}
+}
+
+// indexPairs decodes "pair-i-j" real pages into a (i,j) lookup and derives
+// the version-name list (index -> left/right name).
+func indexPairs(pages []aggregator.IntegratedPage) (map[[2]int]aggregator.IntegratedPage, []string, error) {
+	pairs := make(map[[2]int]aggregator.IntegratedPage)
+	names := make(map[int]string)
+	maxIdx := -1
+	for _, p := range pages {
+		if p.Kind != aggregator.KindReal {
+			continue
+		}
+		i, j, ok := parsePairPageID(p.ID)
+		if !ok {
+			return nil, nil, fmt.Errorf("extension: unparsable pair page id %q", p.ID)
+		}
+		pairs[[2]int{i, j}] = p
+		names[i] = p.LeftName
+		names[j] = p.RightName
+		if j > maxIdx {
+			maxIdx = j
+		}
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	out := make([]string, maxIdx+1)
+	for idx := range out {
+		name, ok := names[idx]
+		if !ok {
+			return nil, nil, fmt.Errorf("extension: version index %d missing from page set", idx)
+		}
+		out[idx] = name
+	}
+	return pairs, out, nil
+}
+
+// parsePairPageID decodes the aggregator's "pair-i-j" ids.
+func parsePairPageID(id string) (i, j int, ok bool) {
+	rest, found := strings.CutPrefix(id, "pair-")
+	if !found {
+		return 0, 0, false
+	}
+	parts := strings.SplitN(rest, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	i, err1 := strconv.Atoi(parts[0])
+	j, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || i < 0 || j <= i {
+		return 0, 0, false
+	}
+	return i, j, true
+}

@@ -1,0 +1,202 @@
+package extension
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/rank"
+	"kaleidoscope/internal/server"
+	"kaleidoscope/internal/store"
+	"kaleidoscope/internal/webgen"
+)
+
+// startSortedServer prepares a 5-version font test.
+func startSortedServer(t *testing.T, questions []string) (*httptest.Server, *server.Server, *aggregator.Prepared, []int) {
+	t.Helper()
+	sizes := []int{10, 12, 14, 18, 22}
+	db := store.OpenMemory()
+	blobs := store.NewBlobStore()
+	agg, err := aggregator.New(db, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := &params.Test{
+		TestID:          "sorted-test",
+		WebpageNum:      len(sizes),
+		TestDescription: "sorted flow test",
+		ParticipantNum:  5,
+		Questions:       questions,
+	}
+	sites := make(map[string]*webgen.Site)
+	for _, pt := range sizes {
+		path := fmt.Sprintf("wiki-%dpt", pt)
+		test.Webpages = append(test.Webpages, params.Webpage{
+			WebPath: path, WebPageLoad: params.PageLoadSpec{UniformMillis: 500}, WebMainFile: "index.html",
+		})
+		sites[path] = webgen.WikiArticle(webgen.WikiConfig{Seed: 5, FontSizePt: pt})
+	}
+	prep, err := agg.Prepare(test, sites, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv, prep, sizes
+}
+
+func TestSortedRunnerFlow(t *testing.T) {
+	ts, srv, prep, sizes := startSortedServer(t, []string{"Which webpage's font size is more suitable (easier) for reading?"})
+	client, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	w := diligentWorker(rng)
+	runner := &SortedRunner{Client: client, Worker: w, Answer: AnswerFontSize(), RNG: rng}
+	res, err := runner.Run("sorted-test")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Fewer comparisons than the full round-robin.
+	full := rank.PairCount(len(sizes))
+	if len(res.Session.Responses) >= full {
+		t.Errorf("sorted flow used %d comparisons, full is %d", len(res.Session.Responses), full)
+	}
+	if res.Ranking == nil || len(res.Ranking.Order) != len(sizes) {
+		t.Fatalf("ranking = %+v", res.Ranking)
+	}
+	// Controls still visited.
+	if len(res.Session.Controls) != len(prep.ControlPages()) {
+		t.Errorf("controls = %d, want %d", len(res.Session.Controls), len(prep.ControlPages()))
+	}
+	// The diligent 12pt-preferring worker ranks 12pt (index 1) top.
+	if res.Ranking.Order[0] != 1 {
+		t.Errorf("top = %dpt (%v), want 12pt", sizes[res.Ranking.Order[0]], res.Ranking.Order)
+	}
+	// 22pt is last.
+	if res.Ranking.Order[len(sizes)-1] != 4 {
+		t.Errorf("worst = %dpt (%v), want 22pt", sizes[res.Ranking.Order[len(sizes)-1]], res.Ranking.Order)
+	}
+	// Version names resolved.
+	if res.VersionNames[1] != "wiki-12pt" {
+		t.Errorf("names = %v", res.VersionNames)
+	}
+	// Session uploaded.
+	stored, err := srv.Sessions("sorted-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 {
+		t.Errorf("stored = %d", len(stored))
+	}
+	// Behaviors cover visited pages: comparisons + controls.
+	wantBehaviors := len(res.Session.Responses) + len(res.Session.Controls)
+	if len(res.Session.Behaviors) != wantBehaviors {
+		t.Errorf("behaviors = %d, want %d", len(res.Session.Behaviors), wantBehaviors)
+	}
+}
+
+func TestSortedRunnerRequiresOneQuestion(t *testing.T) {
+	ts, _, _, _ := startSortedServer(t, []string{"q one?", "q two?"})
+	client, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	runner := &SortedRunner{Client: client, Worker: diligentWorker(rng), Answer: AnswerFontSize(), RNG: rng}
+	if _, err := runner.Run("sorted-test"); err == nil {
+		t.Error("multi-question sorted flow should fail")
+	}
+}
+
+func TestSortedRunnerValidation(t *testing.T) {
+	r := &SortedRunner{}
+	if _, err := r.Run("x"); err == nil {
+		t.Error("empty runner should fail")
+	}
+	rng := rand.New(rand.NewSource(5))
+	client, _ := NewClient("http://127.0.0.1:0", nil)
+	r = &SortedRunner{Client: client, Worker: diligentWorker(rng), Answer: AnswerFontSize()}
+	if _, err := r.Run("x"); err == nil {
+		t.Error("missing rng should fail")
+	}
+}
+
+func TestChoiceOutcomeMapping(t *testing.T) {
+	if choiceToOutcome(questionnaire.ChoiceLeft) != rank.OutcomeA {
+		t.Error("left should map to A")
+	}
+	if choiceToOutcome(questionnaire.ChoiceRight) != rank.OutcomeB {
+		t.Error("right should map to B")
+	}
+	if choiceToOutcome(questionnaire.ChoiceSame) != rank.OutcomeTie {
+		t.Error("same should map to tie")
+	}
+	if mirrorOutcome(rank.OutcomeA) != rank.OutcomeB || mirrorOutcome(rank.OutcomeB) != rank.OutcomeA {
+		t.Error("mirror should swap A/B")
+	}
+	if mirrorOutcome(rank.OutcomeTie) != rank.OutcomeTie {
+		t.Error("tie mirrors to itself")
+	}
+}
+
+func TestParsePairPageID(t *testing.T) {
+	tests := []struct {
+		id   string
+		i, j int
+		ok   bool
+	}{
+		{"pair-0-1", 0, 1, true},
+		{"pair-2-4", 2, 4, true},
+		{"pair-1-1", 0, 0, false}, // j must exceed i
+		{"pair-3-1", 0, 0, false},
+		{"control-same", 0, 0, false},
+		{"pair-a-b", 0, 0, false},
+	}
+	for _, tt := range tests {
+		i, j, ok := parsePairPageID(tt.id)
+		if ok != tt.ok || (ok && (i != tt.i || j != tt.j)) {
+			t.Errorf("parsePairPageID(%q) = %d,%d,%v", tt.id, i, j, ok)
+		}
+	}
+}
+
+func TestIndexPairs(t *testing.T) {
+	pages := []aggregator.IntegratedPage{
+		{ID: "pair-0-1", Kind: aggregator.KindReal, LeftName: "a", RightName: "b"},
+		{ID: "pair-0-2", Kind: aggregator.KindReal, LeftName: "a", RightName: "c"},
+		{ID: "pair-1-2", Kind: aggregator.KindReal, LeftName: "b", RightName: "c"},
+		{ID: "control-same", Kind: aggregator.KindControl},
+	}
+	pairs, names, err := indexPairs(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 || len(names) != 3 {
+		t.Fatalf("pairs=%d names=%v", len(pairs), names)
+	}
+	if names[0] != "a" || names[2] != "c" {
+		t.Errorf("names = %v", names)
+	}
+	// Gap in indices fails.
+	if _, _, err := indexPairs([]aggregator.IntegratedPage{
+		{ID: "pair-0-2", Kind: aggregator.KindReal, LeftName: "a", RightName: "c"},
+	}); err == nil {
+		t.Error("missing version index should fail")
+	}
+	// Bad id fails.
+	if _, _, err := indexPairs([]aggregator.IntegratedPage{
+		{ID: "weird", Kind: aggregator.KindReal},
+	}); err == nil {
+		t.Error("bad page id should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package htmlx
+
+import (
+	"testing"
+
+	"strings"
+)
+
+// benchDoc is a realistically-shaped page for parser benchmarks.
+var benchDoc = func() string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>bench</title><style>p { color: red; }</style></head><body><nav id="nav">`)
+	for i := 0; i < 10; i++ {
+		b.WriteString(`<a href="#" class="link">item</a>`)
+	}
+	b.WriteString(`</nav><div id="content">`)
+	for i := 0; i < 50; i++ {
+		b.WriteString(`<div class="section"><h2>Heading</h2><p>`)
+		b.WriteString(strings.Repeat("lorem ipsum dolor sit amet ", 10))
+		b.WriteString(`</p><img src="x.png" width="320" height="200"></div>`)
+	}
+	b.WriteString(`</div><script>var x = 1 < 2;</script></body></html>`)
+	return b.String()
+}()
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		Parse(benchDoc)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(benchDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Render(doc)
+	}
+}
+
+func BenchmarkByID(b *testing.B) {
+	doc := Parse(benchDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if doc.ByID("content") == nil {
+			b.Fatal("missing #content")
+		}
+	}
+}
+
+func BenchmarkText(b *testing.B) {
+	doc := Parse(benchDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = doc.Text()
+	}
+}

@@ -1,0 +1,41 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the forgiving parser with arbitrary input: it must
+// never panic, always yield a document, and its serialization must be a
+// fixed point (parse(render(x)) renders identically).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<p>hello</p>",
+		"<!DOCTYPE html><html><head><title>t</title></head><body></body></html>",
+		"<div class=\"a b\" id=x data-n=1>text <b>bold</b></div>",
+		"<script>if (a<b) { x(); }</script>",
+		"<ul><li>one<li>two</ul>",
+		"</div><p>stray",
+		"<img src='x.png'><br><hr>",
+		"<!-- comment --><p>&amp;&lt;&gt;&quot;</p>",
+		"<p attr=\"unterminated",
+		"< notatag <3 <-",
+		"<style>p { color: red; }</style>",
+		strings.Repeat("<div>", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil || doc.Type != DocumentNode {
+			t.Fatal("Parse must return a document")
+		}
+		once := Render(doc)
+		twice := Render(Parse(once))
+		if once != twice {
+			t.Fatalf("serialization not a fixed point:\n1: %q\n2: %q", once, twice)
+		}
+	})
+}

@@ -1,0 +1,385 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tokenType discriminates lexer output.
+type tokenType int
+
+const (
+	tokenText tokenType = iota + 1
+	tokenStartTag
+	tokenEndTag
+	tokenSelfClosingTag
+	tokenComment
+	tokenDoctype
+)
+
+// token is one lexical unit of an HTML document.
+type token struct {
+	typ   tokenType
+	tag   string // for tags, lower-case
+	data  string // text, comment, or doctype payload
+	attrs []Attr
+}
+
+// tokenizer is a single-pass HTML lexer. It never fails: malformed input
+// degrades to text tokens, mirroring browser forgiveness.
+type tokenizer struct {
+	src string
+	pos int
+}
+
+func newTokenizer(src string) *tokenizer {
+	return &tokenizer{src: src}
+}
+
+// next returns the next token and whether one was produced (false at EOF).
+func (z *tokenizer) next() (token, bool) {
+	if z.pos >= len(z.src) {
+		return token{}, false
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.lexMarkup(); ok {
+			return tok, true
+		}
+		// A lone '<' that doesn't start valid markup is literal text.
+		start := z.pos
+		z.pos++
+		z.consumeText()
+		return token{typ: tokenText, data: z.src[start:z.pos]}, true
+	}
+	start := z.pos
+	z.consumeText()
+	return token{typ: tokenText, data: z.src[start:z.pos]}, true
+}
+
+// consumeText advances to the next '<' or EOF.
+func (z *tokenizer) consumeText() {
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+}
+
+// lexMarkup lexes a construct starting at '<'. Returns ok=false when the
+// '<' does not begin recognizable markup (the caller treats it as text).
+func (z *tokenizer) lexMarkup() (token, bool) {
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.lexComment(), true
+	case strings.HasPrefix(rest, "<!"):
+		return z.lexDoctype(), true
+	case strings.HasPrefix(rest, "</"):
+		return z.lexEndTag()
+	default:
+		return z.lexStartTag()
+	}
+}
+
+func (z *tokenizer) lexComment() token {
+	z.pos += len("<!--")
+	end := strings.Index(z.src[z.pos:], "-->")
+	var data string
+	if end < 0 {
+		data = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		data = z.src[z.pos : z.pos+end]
+		z.pos += end + len("-->")
+	}
+	return token{typ: tokenComment, data: data}
+}
+
+func (z *tokenizer) lexDoctype() token {
+	z.pos += len("<!")
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var data string
+	if end < 0 {
+		data = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		data = z.src[z.pos : z.pos+end]
+		z.pos += end + 1
+	}
+	return token{typ: tokenDoctype, data: strings.TrimSpace(data)}
+}
+
+func (z *tokenizer) lexEndTag() (token, bool) {
+	save := z.pos
+	z.pos += len("</")
+	name := z.lexTagName()
+	if name == "" {
+		z.pos = save
+		return token{}, false
+	}
+	// Skip anything up to '>' (attributes on end tags are ignored).
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++ // consume '>'
+	}
+	return token{typ: tokenEndTag, tag: name}, true
+}
+
+func (z *tokenizer) lexStartTag() (token, bool) {
+	save := z.pos
+	z.pos++ // consume '<'
+	name := z.lexTagName()
+	if name == "" {
+		z.pos = save
+		return token{}, false
+	}
+	tok := token{typ: tokenStartTag, tag: name}
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			return tok, true
+		}
+		switch {
+		case z.src[z.pos] == '>':
+			z.pos++
+			return tok, true
+		case strings.HasPrefix(z.src[z.pos:], "/>"):
+			z.pos += 2
+			tok.typ = tokenSelfClosingTag
+			return tok, true
+		case z.src[z.pos] == '/':
+			z.pos++ // stray slash, skip
+		default:
+			key, val, ok := z.lexAttr()
+			if !ok {
+				// Unlexable junk: skip one byte to guarantee progress.
+				z.pos++
+				continue
+			}
+			tok.attrs = append(tok.attrs, Attr{Key: key, Val: val})
+		}
+	}
+}
+
+// lexTagName consumes an ASCII tag name and returns it lower-cased, or ""
+// when the current byte cannot start a tag name.
+func (z *tokenizer) lexTagName() string {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if isASCIILetter(c) || isASCIIDigit(c) || c == '-' || c == ':' {
+			z.pos++
+			continue
+		}
+		break
+	}
+	if z.pos == start || !isASCIILetter(z.src[start]) {
+		z.pos = start
+		return ""
+	}
+	return strings.ToLower(z.src[start:z.pos])
+}
+
+// lexAttr consumes one attribute: key, key=value, key="value", key='value'.
+func (z *tokenizer) lexAttr() (key, val string, ok bool) {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '=' || c == '>' || c == '/' || isSpace(c) {
+			break
+		}
+		z.pos++
+	}
+	if z.pos == start {
+		return "", "", false
+	}
+	key = strings.ToLower(z.src[start:z.pos])
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return key, "", true // boolean attribute
+	}
+	z.pos++ // consume '='
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return key, "", true
+	}
+	switch quote := z.src[z.pos]; quote {
+	case '"', '\'':
+		z.pos++
+		vstart := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != quote {
+			z.pos++
+		}
+		val = z.src[vstart:z.pos]
+		if z.pos < len(z.src) {
+			z.pos++ // consume closing quote
+		}
+	default:
+		vstart := z.pos
+		for z.pos < len(z.src) {
+			c := z.src[z.pos]
+			if isSpace(c) || c == '>' {
+				break
+			}
+			z.pos++
+		}
+		val = z.src[vstart:z.pos]
+	}
+	return key, unescapeEntities(val), true
+}
+
+// rawText consumes text up to (but not including) the close tag of the
+// given raw-text element, e.g. "</script>". The close tag itself is
+// consumed and not returned.
+func (z *tokenizer) rawText(tag string) string {
+	// ASCII case folding must be done positionally: strings.ToLower can
+	// change byte offsets on invalid UTF-8 (it widens bad bytes to the
+	// replacement rune), so search the original string directly.
+	idx := asciiIndexFold(z.src[z.pos:], "</"+tag)
+	if idx < 0 {
+		out := z.src[z.pos:]
+		z.pos = len(z.src)
+		return out
+	}
+	out := z.src[z.pos : z.pos+idx]
+	z.pos += idx
+	// Consume through the '>' of the close tag.
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	if end < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos += end + 1
+	}
+	return out
+}
+
+// asciiIndexFold returns the index of the first ASCII-case-insensitive
+// occurrence of substr in s, or -1. substr must be ASCII (tag names are).
+func asciiIndexFold(s, substr string) int {
+	if len(substr) == 0 {
+		return 0
+	}
+	for i := 0; i+len(substr) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(substr); j++ {
+			a, b := s[i+j], substr[j]
+			if 'A' <= a && a <= 'Z' {
+				a += 'a' - 'A'
+			}
+			if 'A' <= b && b <= 'Z' {
+				b += 'a' - 'A'
+			}
+			if a != b {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func (z *tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isASCIILetter(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isASCIIDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// namedEntities maps the named entities that matter for round-tripping the
+// documents Kaleidoscope generates and consumes.
+var namedEntities = map[string]rune{
+	"amp":  '&',
+	"lt":   '<',
+	"gt":   '>',
+	"quot": '"',
+	"apos": '\'',
+	"nbsp": '\u00a0',
+}
+
+// unescapeEntities decodes the supported named entities plus numeric
+// character references (&#NN; and &#xHH;) in s. Unrecognized or malformed
+// references pass through literally, matching browser forgiveness.
+func unescapeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	for i := amp; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		// Entities are short; a distant or missing semicolon means a bare
+		// ampersand.
+		if semi < 2 || semi > 12 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		body := s[i+1 : i+semi]
+		if r, ok := decodeEntityBody(body); ok {
+			b.WriteRune(r)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte('&')
+		i++
+	}
+	return b.String()
+}
+
+// decodeEntityBody resolves the text between '&' and ';'.
+func decodeEntityBody(body string) (rune, bool) {
+	if r, ok := namedEntities[body]; ok {
+		return r, true
+	}
+	if len(body) >= 2 && body[0] == '#' {
+		digits := body[1:]
+		base := 10
+		if digits[0] == 'x' || digits[0] == 'X' {
+			digits = digits[1:]
+			base = 16
+		}
+		if digits == "" {
+			return 0, false
+		}
+		n, err := strconv.ParseInt(digits, base, 32)
+		if err != nil || n <= 0 || n > 0x10FFFF {
+			return 0, false
+		}
+		return rune(n), true
+	}
+	return 0, false
+}
+
+// escaper encodes text-node content.
+var textEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+)
+
+// attrEscaper encodes attribute values (double-quoted serialization).
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)

@@ -1,0 +1,19 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"kaleidoscope/internal/webgen"
+)
+
+func BenchmarkLoadSite(b *testing.B) {
+	site := webgen.WikiArticle(webgen.WikiConfig{Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadSite(site, ProfileCable, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"kaleidoscope/internal/webgen"
+)
+
+// heavySite is a resource-rich page where protocol differences show.
+func heavySite() *webgen.Site {
+	return webgen.WikiArticle(webgen.WikiConfig{Seed: 1, Images: 12, Sections: 12, ImageBytes: 16 << 10})
+}
+
+func TestProtocolString(t *testing.T) {
+	if HTTP1.String() != "http/1.1" || HTTP2.String() != "http/2.0" {
+		t.Error("protocol names wrong")
+	}
+	if Protocol(0).String() != "invalid" {
+		t.Error("zero protocol should be invalid")
+	}
+}
+
+func TestLoadSiteProtocolDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	site := heavySite()
+	t1, err := LoadSiteProtocol(site, ProfileCable, HTTP1, rng)
+	if err != nil {
+		t.Fatalf("HTTP1: %v", err)
+	}
+	t2, err := LoadSiteProtocol(site, ProfileCable, HTTP2, rng)
+	if err != nil {
+		t.Fatalf("HTTP2: %v", err)
+	}
+	if len(t1.Fetches) != len(t2.Fetches) {
+		t.Errorf("fetch counts differ: %d vs %d", len(t1.Fetches), len(t2.Fetches))
+	}
+	if _, err := LoadSiteProtocol(site, ProfileCable, Protocol(9), rng); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}
+
+func TestH2Errors(t *testing.T) {
+	if _, err := loadSiteH2(heavySite(), ProfileCable, nil); err != ErrNilRNG {
+		t.Errorf("nil rng err = %v", err)
+	}
+	if _, err := loadSiteH2(webgen.NewSite("index.html"), ProfileCable, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid site should fail")
+	}
+}
+
+func TestH2StreamsShareStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trace, err := loadSiteH2(heavySite(), ProfileDSL, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htmlFinish, _ := trace.FinishOf("index.html")
+	var start float64
+	for _, f := range trace.Fetches {
+		if f.Path == "index.html" {
+			continue
+		}
+		if start == 0 {
+			start = f.StartMillis
+		}
+		if f.StartMillis != start {
+			t.Fatalf("h2 streams should share a start: %v vs %v", f.StartMillis, start)
+		}
+		if f.StartMillis < htmlFinish {
+			t.Fatal("streams before html finished")
+		}
+		if f.FinishMillis <= f.StartMillis {
+			t.Fatalf("stream %s has non-positive duration", f.Path)
+		}
+	}
+}
+
+// TestH2BeatsH1OnHighRTT documents the protocol shape: on a high-latency
+// link with many objects, HTTP/2's single round trip beats HTTP/1.1's
+// per-request round trips.
+func TestH2BeatsH1OnHighRTT(t *testing.T) {
+	site := heavySite()
+	mean := func(proto Protocol) float64 {
+		var sum float64
+		const runs = 8
+		for seed := int64(0); seed < runs; seed++ {
+			trace, err := LoadSiteProtocol(site, ProfileSatell, proto, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += trace.OnLoadMillis
+		}
+		return sum / runs
+	}
+	h1 := mean(HTTP1)
+	h2 := mean(HTTP2)
+	if h2 >= h1 {
+		t.Errorf("h2 onload %v should beat h1 %v on satellite", h2, h1)
+	}
+}
+
+func TestH2ConservesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	site := heavySite()
+	trace, err := loadSiteH2(site, ProfileFiber, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, f := range trace.Fetches {
+		total += f.Bytes
+	}
+	if total != site.TotalBytes() {
+		t.Errorf("bytes = %d, want %d", total, site.TotalBytes())
+	}
+}

@@ -1,0 +1,74 @@
+package pageload
+
+import (
+	"math/rand"
+	"testing"
+
+	"kaleidoscope/internal/cssx"
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/render"
+	"kaleidoscope/internal/webgen"
+)
+
+func benchArticle(b *testing.B) (*htmlx.Node, *cssx.Stylesheet) {
+	b.Helper()
+	site := webgen.WikiArticle(webgen.WikiConfig{Seed: 1})
+	css, _ := site.Get("css/style.css")
+	return htmlx.Parse(string(site.HTML())), cssx.ParseStylesheet(string(css))
+}
+
+func BenchmarkBuildScheduleSelector(b *testing.B) {
+	doc, _ := benchArticle(b)
+	spec := params.PageLoadSpec{Schedule: []params.SelectorTime{
+		{Selector: "#navbar", Millis: 2000},
+		{Selector: "#content", Millis: 4000},
+		{Selector: "#infobox", Millis: 3000},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSchedule(doc, spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildScheduleUniform(b *testing.B) {
+	doc, _ := benchArticle(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSchedule(doc, params.PageLoadSpec{UniformMillis: 3000}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateReplay(b *testing.B) {
+	doc, sheet := benchArticle(b)
+	spec := params.PageLoadSpec{Schedule: []params.SelectorTime{
+		{Selector: "#navbar", Millis: 2000},
+		{Selector: "#content", Millis: 4000},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(doc, sheet, render.DefaultViewport(), spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeedIndex(b *testing.B) {
+	doc, sheet := benchArticle(b)
+	replay, err := Simulate(doc, sheet, render.DefaultViewport(), params.PageLoadSpec{Schedule: []params.SelectorTime{
+		{Selector: "#navbar", Millis: 2000},
+		{Selector: "#content", Millis: 4000},
+	}}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = replay.SpeedIndex()
+	}
+}

@@ -1,0 +1,136 @@
+package pageload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/params"
+)
+
+// SpecElementID is the id of the injected JSON spec element. The browser
+// extension reads the schedule back out of the downloaded page via this id.
+const SpecElementID = "kscope-pageload-spec"
+
+// RuntimeElementID is the id of the injected replay runtime script.
+const RuntimeElementID = "kscope-pageload-runtime"
+
+// ErrNoSpec is returned by ExtractSpec when the document carries no
+// injected schedule.
+var ErrNoSpec = errors.New("pageload: no injected page-load spec found")
+
+// InjectSpec embeds the page-load schedule into the document: a JSON spec
+// element (machine-readable, consumed by the extension simulation) and the
+// replay runtime script (the JavaScript a real browser would execute to
+// hide all DOM nodes and reveal them on schedule). Existing injections are
+// replaced, making the operation idempotent.
+func InjectSpec(doc *htmlx.Node, spec params.PageLoadSpec) error {
+	head := doc.Head()
+	if head == nil {
+		// Fall back to the document root for fragment-shaped input.
+		if body := doc.Body(); body != nil {
+			head = body
+		} else {
+			head = doc
+		}
+	}
+	// Drop any previous injection.
+	for _, id := range []string{SpecElementID, RuntimeElementID} {
+		if old := doc.ByID(id); old != nil && old.Parent != nil {
+			old.Parent.RemoveChild(old)
+		}
+	}
+
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("pageload: encoding spec: %w", err)
+	}
+	specEl := htmlx.NewElement("script")
+	specEl.SetAttr("id", SpecElementID)
+	specEl.SetAttr("type", "application/json")
+	specEl.AppendChild(htmlx.NewText(string(data)))
+
+	runtime := htmlx.NewElement("script")
+	runtime.SetAttr("id", RuntimeElementID)
+	runtime.AppendChild(htmlx.NewText(replayRuntimeJS))
+
+	head.InsertChildAt(0, specEl)
+	head.InsertChildAt(1, runtime)
+	return nil
+}
+
+// ExtractSpec reads the injected schedule back out of a document.
+func ExtractSpec(doc *htmlx.Node) (params.PageLoadSpec, error) {
+	el := doc.ByID(SpecElementID)
+	if el == nil || len(el.Children) == 0 {
+		return params.PageLoadSpec{}, ErrNoSpec
+	}
+	var spec params.PageLoadSpec
+	if err := json.Unmarshal([]byte(el.Children[0].Data), &spec); err != nil {
+		return params.PageLoadSpec{}, fmt.Errorf("pageload: decoding injected spec: %w", err)
+	}
+	return spec, nil
+}
+
+// replayRuntimeJS is the JavaScript the paper describes injecting into each
+// test webpage: it hides every DOM node immediately, then reveals nodes
+// according to the schedule. The scalar form reveals each node at a
+// uniformly random time within the bound; the selector form reveals
+// matches at fixed offsets. Kept faithful to the paper's mechanism so the
+// emitted single-file pages replay correctly in a real browser too.
+const replayRuntimeJS = `(function () {
+  "use strict";
+  function readSpec() {
+    var el = document.getElementById("` + SpecElementID + `");
+    if (!el) { return null; }
+    try { return JSON.parse(el.textContent); } catch (e) { return null; }
+  }
+  function hideAll() {
+    var all = document.body ? document.body.getElementsByTagName("*") : [];
+    var hidden = [];
+    for (var i = 0; i < all.length; i++) {
+      var node = all[i];
+      if (node.id === "` + SpecElementID + `" || node.id === "` + RuntimeElementID + `") { continue; }
+      hidden.push([node, node.style.visibility]);
+      node.style.visibility = "hidden";
+    }
+    return hidden;
+  }
+  function run() {
+    var spec = readSpec();
+    if (spec === null) { return; }
+    var hidden = hideAll();
+    function reveal(node, prev, ms) {
+      window.setTimeout(function () { node.style.visibility = prev || ""; }, ms);
+    }
+    if (typeof spec === "number") {
+      for (var i = 0; i < hidden.length; i++) {
+        reveal(hidden[i][0], hidden[i][1], Math.floor(Math.random() * (spec + 1)));
+      }
+      return;
+    }
+    // Selector form: [{selector: ms}, ...]; unmatched nodes show at 0.
+    // A node inherits the latest reveal time among itself and its matched
+    // ancestors, mirroring DOM visibility semantics.
+    for (var s = 0; s < spec.length; s++) {
+      for (var sel in spec[s]) {
+        var ms = spec[s][sel];
+        var matches = document.querySelectorAll(sel);
+        for (var m = 0; m < matches.length; m++) {
+          var root = matches[m];
+          var descendants = [root].concat(Array.prototype.slice.call(root.getElementsByTagName("*")));
+          for (var d = 0; d < descendants.length; d++) {
+            descendants[d].__kscopeAt = Math.max(descendants[d].__kscopeAt || 0, ms);
+          }
+        }
+      }
+    }
+    for (var j = 0; j < hidden.length; j++) {
+      reveal(hidden[j][0], hidden[j][1], hidden[j][0].__kscopeAt || 0);
+    }
+  }
+  if (document.readyState !== "loading") { run(); }
+  else { document.addEventListener("DOMContentLoaded", run); }
+})();
+`

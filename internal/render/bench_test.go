@@ -1,0 +1,20 @@
+package render
+
+import (
+	"testing"
+
+	"kaleidoscope/internal/cssx"
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/webgen"
+)
+
+func BenchmarkLayoutDocument(b *testing.B) {
+	site := webgen.WikiArticle(webgen.WikiConfig{Seed: 1})
+	css, _ := site.Get("css/style.css")
+	doc := htmlx.Parse(string(site.HTML()))
+	sheet := cssx.ParseStylesheet(string(css))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LayoutDocument(doc, sheet, DefaultViewport())
+	}
+}

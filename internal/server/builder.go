@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"kaleidoscope/internal/params"
+)
+
+// The paper (§III-B) describes a web interface helping experimenters
+// generate the JSON test parameters "one by one according to the hint".
+// The core server exposes that builder: GET /builder serves the form,
+// POST /api/params/build turns the simplified request into a validated
+// Table-I document.
+
+// BuilderRequest is the simplified input the builder accepts.
+type BuilderRequest struct {
+	TestID       string           `json:"test_id"`
+	Description  string           `json:"description"`
+	Participants int              `json:"participants"`
+	Questions    []string         `json:"questions"`
+	Webpages     []BuilderWebpage `json:"webpages"`
+}
+
+// BuilderWebpage describes one version in builder terms: either a uniform
+// load bound or a selector schedule.
+type BuilderWebpage struct {
+	Path        string `json:"path"`
+	MainFile    string `json:"main_file,omitempty"` // default index.html
+	Description string `json:"description,omitempty"`
+	// UniformLoadMillis sets the scalar page-load form.
+	UniformLoadMillis int `json:"uniform_load_millis,omitempty"`
+	// Schedule sets the selector form ({"#main": 1000}); wins over the
+	// scalar when both are given.
+	Schedule map[string]int `json:"schedule,omitempty"`
+}
+
+// BuildParams converts a builder request into a validated test-parameter
+// document.
+func BuildParams(req BuilderRequest) (*params.Test, error) {
+	test := &params.Test{
+		TestID:          strings.TrimSpace(req.TestID),
+		WebpageNum:      len(req.Webpages),
+		TestDescription: req.Description,
+		ParticipantNum:  req.Participants,
+		Questions:       req.Questions,
+	}
+	for i, wp := range req.Webpages {
+		built := params.Webpage{
+			WebPath:        strings.TrimSpace(wp.Path),
+			WebMainFile:    strings.TrimSpace(wp.MainFile),
+			WebDescription: wp.Description,
+		}
+		if built.WebMainFile == "" {
+			built.WebMainFile = "index.html"
+		}
+		if len(wp.Schedule) > 0 {
+			selectors := make([]string, 0, len(wp.Schedule))
+			for sel := range wp.Schedule {
+				selectors = append(selectors, sel)
+			}
+			sort.Strings(selectors)
+			for _, sel := range selectors {
+				built.WebPageLoad.Schedule = append(built.WebPageLoad.Schedule, params.SelectorTime{
+					Selector: sel, Millis: wp.Schedule[sel],
+				})
+			}
+		} else {
+			built.WebPageLoad = params.PageLoadSpec{UniformMillis: wp.UniformLoadMillis}
+		}
+		test.Webpages = append(test.Webpages, built)
+		_ = i
+	}
+	if err := test.Validate(); err != nil {
+		return nil, err
+	}
+	return test, nil
+}
+
+// handleBuildParams is the POST /api/params/build endpoint.
+func (s *Server) handleBuildParams(w http.ResponseWriter, r *http.Request) {
+	var req BuilderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding builder request: %v", err)
+		return
+	}
+	test, err := BuildParams(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building parameters: %v", err)
+		return
+	}
+	data, err := test.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding parameters: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleBuilderPage serves the interactive form.
+func (s *Server) handleBuilderPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, builderPageHTML)
+}
+
+// builderPageHTML is a self-contained form that assembles a builder
+// request and shows the generated Table-I document.
+const builderPageHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Kaleidoscope — test parameter builder</title>
+<style>
+body { font-family: sans-serif; max-width: 760px; margin: 24px auto; color: #1b1b1b; }
+label { display: block; margin-top: 12px; font-weight: bold; }
+input, textarea { width: 100%; padding: 6px; box-sizing: border-box; }
+button { margin-top: 16px; padding: 8px 20px; }
+pre { background: #f4f4f4; padding: 12px; overflow-x: auto; }
+.hint { color: #666; font-size: 13px; font-weight: normal; }
+</style>
+</head>
+<body>
+<h1>Test parameter builder</h1>
+<p>Fill the fields, add one webpage version per line, and generate the
+Table-I JSON document Kaleidoscope consumes.</p>
+<label>Test id <span class="hint">identifies the test across Kaleidoscope and the crowdsourcing platform</span></label>
+<input id="test_id" value="my-study">
+<label>Description</label>
+<input id="description" value="Which version do users prefer?">
+<label>Participants</label>
+<input id="participants" type="number" value="100">
+<label>Questions <span class="hint">one per line; answers are constrained to Left / Right / Same</span></label>
+<textarea id="questions" rows="2">Which webpage is better?</textarea>
+<label>Webpage versions <span class="hint">one per line: path [load-millis], e.g. "wiki-12pt 3000"</span></label>
+<textarea id="webpages" rows="3">version-a 3000
+version-b 3000</textarea>
+<button onclick="build()">Generate</button>
+<pre id="out"></pre>
+<script>
+async function build() {
+  const lines = s => s.split("\n").map(l => l.trim()).filter(Boolean);
+  const webpages = lines(document.getElementById("webpages").value).map(l => {
+    const parts = l.split(/\s+/);
+    return { path: parts[0], uniform_load_millis: parts[1] ? parseInt(parts[1], 10) : 0 };
+  });
+  const req = {
+    test_id: document.getElementById("test_id").value,
+    description: document.getElementById("description").value,
+    participants: parseInt(document.getElementById("participants").value, 10),
+    questions: lines(document.getElementById("questions").value),
+    webpages: webpages,
+  };
+  const resp = await fetch("/api/params/build", {
+    method: "POST",
+    headers: { "Content-Type": "application/json" },
+    body: JSON.stringify(req),
+  });
+  document.getElementById("out").textContent = await resp.text();
+}
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kaleidoscope/internal/params"
+)
+
+func validBuilderRequest() BuilderRequest {
+	return BuilderRequest{
+		TestID:       "built-study",
+		Description:  "builder test",
+		Participants: 50,
+		Questions:    []string{"Which is better?"},
+		Webpages: []BuilderWebpage{
+			{Path: "v1", UniformLoadMillis: 3000},
+			{Path: "v2", Schedule: map[string]int{"#content": 4000, "#navbar": 2000}},
+		},
+	}
+}
+
+func TestBuildParams(t *testing.T) {
+	test, err := BuildParams(validBuilderRequest())
+	if err != nil {
+		t.Fatalf("BuildParams: %v", err)
+	}
+	if test.TestID != "built-study" || test.WebpageNum != 2 {
+		t.Errorf("test = %+v", test)
+	}
+	// Defaults applied.
+	if test.Webpages[0].WebMainFile != "index.html" {
+		t.Errorf("default main file = %q", test.Webpages[0].WebMainFile)
+	}
+	// Scalar form for v1.
+	if !test.Webpages[0].WebPageLoad.IsUniform() || test.Webpages[0].WebPageLoad.UniformMillis != 3000 {
+		t.Errorf("v1 load = %+v", test.Webpages[0].WebPageLoad)
+	}
+	// Selector form for v2, deterministically ordered.
+	sched := test.Webpages[1].WebPageLoad.Schedule
+	if len(sched) != 2 || sched[0].Selector != "#content" || sched[1].Selector != "#navbar" {
+		t.Errorf("v2 schedule = %+v", sched)
+	}
+	// The output is a valid document end-to-end.
+	data, err := test.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := params.Parse(data); err != nil {
+		t.Errorf("built document does not parse: %v", err)
+	}
+}
+
+func TestBuildParamsErrors(t *testing.T) {
+	req := validBuilderRequest()
+	req.Webpages = req.Webpages[:1]
+	if _, err := BuildParams(req); err == nil {
+		t.Error("one webpage should fail validation")
+	}
+	req = validBuilderRequest()
+	req.Questions = nil
+	if _, err := BuildParams(req); err == nil {
+		t.Error("no questions should fail")
+	}
+	req = validBuilderRequest()
+	req.TestID = "  "
+	if _, err := BuildParams(req); err == nil {
+		t.Error("blank id should fail")
+	}
+}
+
+func TestBuilderEndpoint(t *testing.T) {
+	srv, _ := prepTest(t)
+	payload, err := json.Marshal(validBuilderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, srv, http.MethodPost, "/api/params/build", payload, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	built, err := params.Parse(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("endpoint output does not parse: %v", err)
+	}
+	if built.TestID != "built-study" {
+		t.Errorf("built = %+v", built)
+	}
+	// Bad JSON.
+	rec = doJSON(t, srv, http.MethodPost, "/api/params/build", []byte("{"), nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", rec.Code)
+	}
+	// Invalid request.
+	rec = doJSON(t, srv, http.MethodPost, "/api/params/build", []byte(`{"test_id":"x"}`), nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid request status = %d", rec.Code)
+	}
+}
+
+func TestBuilderPage(t *testing.T) {
+	srv, _ := prepTest(t)
+	rec := doJSON(t, srv, http.MethodGet, "/builder", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "parameter builder") || !strings.Contains(body, "/api/params/build") {
+		t.Error("builder page incomplete")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+}

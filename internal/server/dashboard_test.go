@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kaleidoscope/internal/questionnaire"
+)
+
+func TestDashboard(t *testing.T) {
+	srv, prep := prepTest(t)
+	up := sampleUpload(prep, "w1", questionnaire.ChoiceLeft)
+	payload, _ := json.Marshal(up)
+	doJSON(t, srv, http.MethodPost, "/api/tests/srv-test/sessions", payload, nil)
+
+	rec := doJSON(t, srv, http.MethodGet, "/dashboard/srv-test", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"srv-test", "1 workers considered", "apply quality control", "pair-0-1", `class="bar"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	// Quality-controlled variant.
+	rec = doJSON(t, srv, http.MethodGet, "/dashboard/srv-test?quality=1", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("qc status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "after quality control") {
+		t.Error("qc dashboard should say so")
+	}
+
+	// Missing test.
+	rec = doJSON(t, srv, http.MethodGet, "/dashboard/ghost", nil, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("ghost status = %d", rec.Code)
+	}
+}
+
+func TestDashboardEscapesHTML(t *testing.T) {
+	info := &TestInfo{TestID: "t", Description: `<script>alert(1)</script>`, Questions: []string{"<b>q</b>"}}
+	res := &Results{TestID: "t"}
+	out := renderDashboard(info, res)
+	if strings.Contains(out, "<script>alert(1)</script>") {
+		t.Error("description not escaped")
+	}
+	if strings.Contains(out, "<b>q</b>") {
+		t.Error("question not escaped")
+	}
+}
+
+func TestSplitBar(t *testing.T) {
+	if splitBar(questionnaire.Tally{}) != "" {
+		t.Error("empty tally should render nothing")
+	}
+	out := splitBar(questionnaire.Tally{Left: 1, Same: 1, Right: 2})
+	if !strings.Contains(out, "width:45px") || !strings.Contains(out, "width:90px") {
+		t.Errorf("bar = %q", out)
+	}
+}

@@ -1,0 +1,390 @@
+// Package server implements Kaleidoscope's core server (NodeJS in the
+// paper) as a net/http service with the paper's four functions:
+//
+//   - publish the test task information a crowdsourcing platform needs
+//     (GET /api/tests/{id}/task),
+//   - serve test resources to the browser extension
+//     (GET /api/tests/{id} and /api/tests/{id}/pages/{page}/{file}),
+//   - collect responses from participants
+//     (POST /api/tests/{id}/sessions),
+//   - conclude the final results, raw and quality-controlled
+//     (GET /api/tests/{id}/results).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/quality"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/store"
+)
+
+// Server is the core server. It is an http.Handler.
+type Server struct {
+	db    *store.DB
+	blobs *store.BlobStore
+	mux   *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New wires a server over prepared storage.
+func New(db *store.DB, blobs *store.BlobStore) (*Server, error) {
+	if db == nil || blobs == nil {
+		return nil, errors.New("server: nil storage")
+	}
+	s := &Server{db: db, blobs: blobs, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/tests", s.handleListTests)
+	s.mux.HandleFunc("GET /api/tests/{id}", s.handleTestInfo)
+	s.mux.HandleFunc("GET /api/tests/{id}/task", s.handleTask)
+	s.mux.HandleFunc("GET /api/tests/{id}/pages/{page}/{file...}", s.handlePageFile)
+	s.mux.HandleFunc("POST /api/tests/{id}/sessions", s.handleSessionUpload)
+	s.mux.HandleFunc("GET /api/tests/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /builder", s.handleBuilderPage)
+	s.mux.HandleFunc("GET /dashboard/{id}", s.handleDashboard)
+	s.mux.HandleFunc("POST /api/params/build", s.handleBuildParams)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is written can only be logged;
+	// for the payloads here (all marshalable structs) they cannot occur.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// TestInfo is the extension-facing description of a test.
+type TestInfo struct {
+	TestID      string                      `json:"test_id"`
+	Description string                      `json:"description"`
+	Questions   []string                    `json:"questions"`
+	Pages       []aggregator.IntegratedPage `json:"pages"`
+}
+
+// loadInfo assembles TestInfo from storage.
+func (s *Server) loadInfo(testID string) (*TestInfo, error) {
+	prep, err := aggregator.LoadPrepared(s.db, testID)
+	if err != nil {
+		return nil, err
+	}
+	return &TestInfo{
+		TestID:      prep.Test.TestID,
+		Description: prep.Test.TestDescription,
+		Questions:   prep.Test.Questions,
+		Pages:       prep.Pages,
+	}, nil
+}
+
+// TestSummary is one row of the test listing.
+type TestSummary struct {
+	TestID       string `json:"test_id"`
+	Description  string `json:"description"`
+	Participants int    `json:"participants"`
+	PageCount    int    `json:"page_count"`
+	Sessions     int    `json:"sessions"`
+}
+
+func (s *Server) handleListTests(w http.ResponseWriter, _ *http.Request) {
+	docs := s.db.Collection(aggregator.TestsCollection).Find(nil)
+	out := make([]TestSummary, 0, len(docs))
+	for _, doc := range docs {
+		summary := TestSummary{
+			TestID:      doc.ID(),
+			Description: docStringField(doc, "description"),
+		}
+		if n, ok := doc["participants"].(float64); ok {
+			summary.Participants = int(n)
+		}
+		if n, ok := doc["page_count"].(float64); ok {
+			summary.PageCount = int(n)
+		}
+		summary.Sessions = len(s.db.Collection(aggregator.ResponsesCollection).FindEq("test_id", doc.ID()))
+		out = append(out, summary)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func docStringField(d store.Document, key string) string {
+	v, _ := d[key].(string)
+	return v
+}
+
+func (s *Server) handleTestInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.loadInfo(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Task is the posting payload for a crowdsourcing platform.
+type Task struct {
+	TestID          string  `json:"test_id"`
+	Title           string  `json:"title"`
+	Instructions    string  `json:"instructions"`
+	RequiredWorkers int     `json:"required_workers"`
+	PaymentUSD      float64 `json:"payment_usd"`
+	PageCount       int     `json:"page_count"`
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+	prep, err := aggregator.LoadPrepared(s.db, testID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, Task{
+		TestID:          testID,
+		Title:           "Kaleidoscope web comparison test " + testID,
+		Instructions:    prep.Test.TestDescription,
+		RequiredWorkers: prep.Test.ParticipantNum,
+		PaymentUSD:      0.10,
+		PageCount:       len(prep.Pages),
+	})
+}
+
+func (s *Server) handlePageFile(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+	pageID := r.PathValue("page")
+	file := r.PathValue("file")
+	data, err := s.blobs.Get(testID + "/" + pageID + "/" + file)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInvalidKey) {
+			writeError(w, http.StatusNotFound, "resource not found")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "reading resource: %v", err)
+		return
+	}
+	switch {
+	case strings.HasSuffix(file, ".html"):
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	case strings.HasSuffix(file, ".css"):
+		w.Header().Set("Content-Type", "text/css")
+	case strings.HasSuffix(file, ".js"):
+		w.Header().Set("Content-Type", "text/javascript")
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.WriteHeader(http.StatusOK)
+	// Best effort: the client observes short writes as transport errors.
+	_, _ = w.Write(data)
+}
+
+// SessionUpload is what the extension posts when a participant finishes.
+type SessionUpload struct {
+	TestID       string                   `json:"test_id"`
+	WorkerID     string                   `json:"worker_id"`
+	Demographics crowd.Demographics       `json:"demographics"`
+	Responses    []questionnaire.Response `json:"responses"`
+	Behaviors    []crowd.Behavior         `json:"behaviors"`
+	Controls     []quality.ControlOutcome `json:"controls"`
+}
+
+// Validate checks the upload against the stored test.
+func (u *SessionUpload) Validate(info *TestInfo) error {
+	if u.WorkerID == "" {
+		return errors.New("missing worker_id")
+	}
+	if u.TestID != info.TestID {
+		return fmt.Errorf("test_id %q does not match %q", u.TestID, info.TestID)
+	}
+	valid := make(map[string]bool, len(info.Pages))
+	for _, p := range info.Pages {
+		valid[p.ID] = true
+	}
+	for _, r := range u.Responses {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if !valid[r.PageID] {
+			return fmt.Errorf("response references unknown page %q", r.PageID)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+	info, err := s.loadInfo(testID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		return
+	}
+	var upload SessionUpload
+	if err := json.NewDecoder(r.Body).Decode(&upload); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding session: %v", err)
+		return
+	}
+	if upload.TestID == "" {
+		upload.TestID = testID
+	}
+	if err := upload.Validate(info); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid session: %v", err)
+		return
+	}
+	raw, err := json.Marshal(upload)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding session: %v", err)
+		return
+	}
+	doc := store.Document{
+		store.IDField: testID + "/" + upload.WorkerID,
+		"test_id":     testID,
+		"worker_id":   upload.WorkerID,
+		"session":     string(raw),
+	}
+	if _, err := s.db.Collection(aggregator.ResponsesCollection).Insert(doc); err != nil {
+		writeError(w, http.StatusInternalServerError, "storing session: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "stored", "worker_id": upload.WorkerID})
+}
+
+// PageResult is the concluded tally for one integrated page.
+type PageResult struct {
+	PageID    string              `json:"page_id"`
+	LeftName  string              `json:"left"`
+	RightName string              `json:"right"`
+	Kind      aggregator.PageKind `json:"kind"`
+	Tally     questionnaire.Tally `json:"tally"`
+}
+
+// Results is the conclusion payload.
+type Results struct {
+	TestID string `json:"test_id"`
+	// Workers is the number of sessions considered.
+	Workers int `json:"workers"`
+	// Filtered reports whether quality control was applied.
+	Filtered bool `json:"filtered"`
+	// DroppedWorkers counts QC rejections (0 when unfiltered).
+	DroppedWorkers int `json:"dropped_workers"`
+	// KeptWorkers lists the worker ids that passed quality control
+	// (empty when unfiltered).
+	KeptWorkers []string     `json:"kept_workers,omitempty"`
+	Pages       []PageResult `json:"pages"`
+}
+
+// Sessions loads every stored session of a test.
+func (s *Server) Sessions(testID string) ([]SessionUpload, error) {
+	docs := s.db.Collection(aggregator.ResponsesCollection).FindEq("test_id", testID)
+	out := make([]SessionUpload, 0, len(docs))
+	for _, doc := range docs {
+		raw, _ := doc["session"].(string)
+		var upload SessionUpload
+		if err := json.Unmarshal([]byte(raw), &upload); err != nil {
+			return nil, fmt.Errorf("server: corrupt session %s: %w", doc.ID(), err)
+		}
+		out = append(out, upload)
+	}
+	return out, nil
+}
+
+// Conclude computes results for a test, optionally applying quality
+// control with the given config (nil = raw results).
+func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
+	info, err := s.loadInfo(testID)
+	if err != nil {
+		return nil, err
+	}
+	uploads, err := s.Sessions(testID)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{TestID: testID, Workers: len(uploads)}
+
+	sessions := make([]quality.WorkerSession, len(uploads))
+	for i, u := range uploads {
+		sessions[i] = quality.WorkerSession{
+			WorkerID:  u.WorkerID,
+			Responses: u.Responses,
+			Behaviors: u.Behaviors,
+			Controls:  u.Controls,
+		}
+	}
+	if qc != nil && len(sessions) > 0 {
+		kept, dropped, _, err := quality.Filter(sessions, *qc)
+		if err != nil {
+			return nil, err
+		}
+		sessions = kept
+		res.Filtered = true
+		res.DroppedWorkers = len(dropped)
+		res.Workers = len(kept)
+		for _, k := range kept {
+			res.KeptWorkers = append(res.KeptWorkers, k.WorkerID)
+		}
+	}
+
+	tallies := make(map[string]*questionnaire.Tally)
+	for _, sess := range sessions {
+		for _, r := range sess.Responses {
+			t, ok := tallies[r.PageID]
+			if !ok {
+				t = &questionnaire.Tally{}
+				tallies[r.PageID] = t
+			}
+			t.Add(r.Choice)
+		}
+	}
+	for _, p := range info.Pages {
+		pr := PageResult{PageID: p.ID, LeftName: p.LeftName, RightName: p.RightName, Kind: p.Kind}
+		if t, ok := tallies[p.ID]; ok {
+			pr.Tally = *t
+		}
+		res.Pages = append(res.Pages, pr)
+	}
+	return res, nil
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+	var qc *quality.Config
+	if r.URL.Query().Get("quality") == "1" {
+		info, err := s.loadInfo(testID)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "test not found: %v", err)
+			return
+		}
+		realPages := 0
+		for _, p := range info.Pages {
+			if p.Kind == aggregator.KindReal {
+				realPages++
+			}
+		}
+		cfg := quality.DefaultConfig(realPages * len(info.Questions))
+		qc = &cfg
+	}
+	res, err := s.Conclude(testID, qc)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "concluding: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile bootstrap confidence interval for a
+// statistic of the sample xs. The statistic is recomputed on `iters`
+// resamples drawn with replacement using rng; level is the confidence level
+// in (0, 1), e.g. 0.95.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, iters int, level float64, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptySample
+	}
+	if iters <= 0 {
+		return 0, 0, errors.New("stats: iters must be positive")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, errors.New("stats: level must be in (0,1)")
+	}
+	if rng == nil {
+		return 0, 0, errors.New("stats: nil rng")
+	}
+	estimates := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		estimates[i] = statistic(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	return Quantile(estimates, alpha), Quantile(estimates, 1-alpha), nil
+}
+
+// MajorityVote returns the most frequent value among votes along with its
+// count. Ties are broken toward the value that appears first in the slice,
+// keeping the result deterministic. This is the "crowd wisdom" primitive the
+// quality-control layer uses as pseudo-ground truth.
+func MajorityVote[T comparable](votes []T) (winner T, count int, err error) {
+	if len(votes) == 0 {
+		return winner, 0, ErrEmptySample
+	}
+	counts := make(map[T]int, len(votes))
+	order := make([]T, 0, len(votes))
+	for _, v := range votes {
+		if counts[v] == 0 {
+			order = append(order, v)
+		}
+		counts[v]++
+	}
+	winner = order[0]
+	count = counts[winner]
+	for _, v := range order[1:] {
+		if counts[v] > count {
+			winner, count = v, counts[v]
+		}
+	}
+	return winner, count, nil
+}
+
+// Histogram buckets xs into equal-width bins over [min, max] and returns the
+// per-bin counts. Values outside the range are clamped into the edge bins.
+func Histogram(xs []float64, min, max float64, bins int) ([]int, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: bins must be positive")
+	}
+	if max <= min {
+		return nil, errors.New("stats: max must exceed min")
+	}
+	counts := make([]int, bins)
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		idx := int((x - min) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	return counts, nil
+}
+
+// Proportions converts integer counts into fractions of their total.
+// An all-zero input yields all-zero output.
+func Proportions(counts []int) []float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+// Package stats provides the statistical machinery Kaleidoscope's analysis
+// pipeline relies on: empirical CDFs, summary statistics, significance tests
+// (two-proportion z-test, exact binomial, chi-square), bootstrap confidence
+// intervals, and rank-correlation measures.
+//
+// Everything in this package is deterministic given its inputs; functions
+// that resample take an explicit random source.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample is returned by constructors and tests that need at least
+// one observation.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 when fewer than two observations are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs, interpolating between the two middle
+// values for even-length samples. It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// The zero value is not usable; construct one with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the given sample. The sample is
+// copied; the caller may mutate xs afterwards.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x) under the empirical distribution.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of values <= x, so search for the first value > x.
+	n := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Len returns the number of observations behind the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Min returns the smallest observation.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observation.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Points returns the (x, F(x)) step points of the ECDF, one per distinct
+// observation, suitable for plotting or tabulating a CDF curve.
+func (e *ECDF) Points() []Point {
+	pts := make([]Point, 0, len(e.sorted))
+	n := float64(len(e.sorted))
+	for i, x := range e.sorted {
+		if i+1 < len(e.sorted) && e.sorted[i+1] == x {
+			continue // collapse ties onto the last index
+		}
+		pts = append(pts, Point{X: x, Y: float64(i+1) / n})
+	}
+	return pts
+}
+
+// Point is a single (x, y) pair on a curve.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between two empirical
+// CDFs: the supremum of |F1(x) - F2(x)| over the pooled support.
+func KSDistance(a, b *ECDF) float64 {
+	var d float64
+	for _, x := range a.sorted {
+		if diff := math.Abs(a.At(x) - b.At(x)); diff > d {
+			d = diff
+		}
+	}
+	for _, x := range b.sorted {
+		if diff := math.Abs(a.At(x) - b.At(x)); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// NormalCDF returns Phi(z), the standard normal cumulative distribution
+// function evaluated at z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// TwoProportionResult reports the outcome of a two-proportion z-test.
+type TwoProportionResult struct {
+	P1, P2         float64 // observed proportions
+	Z              float64 // test statistic
+	PValue         float64 // two-sided p-value
+	PValueOneSided float64 // one-sided p-value (what the paper's VWO calculator reports)
+}
+
+// Significant reports whether the two-sided p-value is below alpha.
+func (r TwoProportionResult) Significant(alpha float64) bool {
+	return r.PValue < alpha
+}
+
+// String formats the result the way the paper reports it.
+func (r TwoProportionResult) String() string {
+	return fmt.Sprintf("p1=%.3f p2=%.3f z=%.3f P=%.4g", r.P1, r.P2, r.Z, r.PValue)
+}
+
+// TwoProportionTest performs a pooled two-proportion z-test comparing
+// successes1/trials1 against successes2/trials2. This is the test behind the
+// paper's A/B significance analysis (Fig. 7b/7c): e.g. 3 clicks out of 51
+// visitors vs 6 out of 49.
+func TwoProportionTest(successes1, trials1, successes2, trials2 int) (TwoProportionResult, error) {
+	if trials1 <= 0 || trials2 <= 0 {
+		return TwoProportionResult{}, errors.New("stats: trials must be positive")
+	}
+	if successes1 < 0 || successes1 > trials1 || successes2 < 0 || successes2 > trials2 {
+		return TwoProportionResult{}, errors.New("stats: successes out of range")
+	}
+	p1 := float64(successes1) / float64(trials1)
+	p2 := float64(successes2) / float64(trials2)
+	pooled := float64(successes1+successes2) / float64(trials1+trials2)
+	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(trials1) + 1/float64(trials2)))
+	res := TwoProportionResult{P1: p1, P2: p2}
+	if se == 0 {
+		// Both proportions identical and degenerate (all 0s or all 1s):
+		// no evidence of a difference.
+		res.PValue = 1
+		res.PValueOneSided = 0.5
+		return res, nil
+	}
+	res.Z = (p1 - p2) / se
+	res.PValueOneSided = 1 - NormalCDF(math.Abs(res.Z))
+	res.PValue = 2 * res.PValueOneSided
+	return res, nil
+}
+
+// BinomialTest returns the two-sided exact binomial p-value for observing
+// k successes in n trials when the per-trial success probability is p.
+// It uses the common "sum all outcomes at most as likely as k" definition.
+func BinomialTest(k, n int, p float64) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("stats: n must be positive")
+	}
+	if k < 0 || k > n {
+		return 0, errors.New("stats: k out of range")
+	}
+	if p < 0 || p > 1 {
+		return 0, errors.New("stats: p out of range")
+	}
+	obs := binomialPMF(k, n, p)
+	var pval float64
+	const slack = 1e-7 // tolerate FP noise when comparing likelihoods
+	for i := 0; i <= n; i++ {
+		if binomialPMF(i, n, p) <= obs*(1+slack) {
+			pval += binomialPMF(i, n, p)
+		}
+	}
+	return math.Min(pval, 1), nil
+}
+
+// binomialPMF computes C(n,k) p^k (1-p)^(n-k) in log space for stability.
+func binomialPMF(k, n int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	logC := lg - lk - lnk
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// ChiSquareResult reports the outcome of a chi-square goodness-of-fit or
+// independence test.
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	PValue    float64
+}
+
+// ChiSquareGOF performs a chi-square goodness-of-fit test of observed counts
+// against expected counts. The slices must have equal, non-zero length and
+// every expected count must be positive.
+func ChiSquareGOF(observed []int, expected []float64) (ChiSquareResult, error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return ChiSquareResult{}, errors.New("stats: observed/expected length mismatch")
+	}
+	var stat float64
+	for i, o := range observed {
+		if expected[i] <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: expected count %d not positive", i)
+		}
+		d := float64(o) - expected[i]
+		stat += d * d / expected[i]
+	}
+	df := len(observed) - 1
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: chiSquareSF(stat, df)}, nil
+}
+
+// ChiSquare2x2 performs a chi-square independence test on a 2x2 contingency
+// table [[a, b], [c, d]].
+func ChiSquare2x2(a, b, c, d int) (ChiSquareResult, error) {
+	n := a + b + c + d
+	if n == 0 {
+		return ChiSquareResult{}, ErrEmptySample
+	}
+	row1 := float64(a + b)
+	row2 := float64(c + d)
+	col1 := float64(a + c)
+	col2 := float64(b + d)
+	if row1 == 0 || row2 == 0 || col1 == 0 || col2 == 0 {
+		return ChiSquareResult{Statistic: 0, DF: 1, PValue: 1}, nil
+	}
+	fn := float64(n)
+	exp := [4]float64{row1 * col1 / fn, row1 * col2 / fn, row2 * col1 / fn, row2 * col2 / fn}
+	obs := [4]float64{float64(a), float64(b), float64(c), float64(d)}
+	var stat float64
+	for i := range obs {
+		diff := obs[i] - exp[i]
+		stat += diff * diff / exp[i]
+	}
+	return ChiSquareResult{Statistic: stat, DF: 1, PValue: chiSquareSF(stat, 1)}, nil
+}
+
+// chiSquareSF returns the survival function P(X > x) of a chi-square
+// distribution with df degrees of freedom, via the regularized upper
+// incomplete gamma function.
+func chiSquareSF(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaRegularized(float64(df)/2, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Gamma(a, x)/Gamma(a)
+// using a series expansion for x < a+1 and a continued fraction otherwise.
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+// lowerGammaSeries computes P(a, x) via its power-series representation.
+func lowerGammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// upperGammaContinuedFraction computes Q(a, x) via Lentz's algorithm.
+func upperGammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion with k successes in n trials at the given z (1.96
+// for 95%). It behaves far better than the normal approximation at the
+// small cohort sizes crowd studies use.
+func WilsonInterval(k, n int, z float64) (lo, hi float64, err error) {
+	if n <= 0 {
+		return 0, 0, errors.New("stats: n must be positive")
+	}
+	if k < 0 || k > n {
+		return 0, 0, errors.New("stats: k out of range")
+	}
+	if z <= 0 {
+		return 0, 0, errors.New("stats: z must be positive")
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// KendallTau returns the Kendall rank correlation coefficient (tau-a)
+// between two equal-length slices of scores. Agreement between a produced
+// ranking and ground truth is measured with this in the rank package's
+// ablations.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, errors.New("stats: need at least two observations")
+	}
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			prod := da * db
+			switch {
+			case prod > 0:
+				concordant++
+			case prod < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}

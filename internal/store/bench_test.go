@@ -1,0 +1,49 @@
+package store
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	db := OpenMemory()
+	c := db.Collection("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Insert(Document{"worker": "w1", "choice": "left", "n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindEq(b *testing.B) {
+	db := OpenMemory()
+	c := db.Collection("bench")
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Insert(Document{"test_id": "t" + strconv.Itoa(i%10)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.FindEq("test_id", "t3")) != 100 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkPersistentInsert(b *testing.B) {
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := db.Collection("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Insert(Document{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"kaleidoscope/internal/webgen"
+)
+
+// BlobStore holds the integrated-webpage files the core server serves to
+// participants. The paper stores them under a folder named after the test
+// id; this store mirrors that layout (testID/pageName/path) and supports
+// both in-memory and directory-backed operation.
+type BlobStore struct {
+	mu  sync.RWMutex
+	dir string // "" = memory-only
+	mem map[string][]byte
+}
+
+// NewBlobStore returns a memory-backed blob store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{mem: make(map[string][]byte)}
+}
+
+// OpenBlobStore returns a blob store persisted under dir.
+func OpenBlobStore(dir string) (*BlobStore, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty blob directory; use NewBlobStore")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating blob dir: %w", err)
+	}
+	return &BlobStore{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// ErrInvalidKey reports a blob key that would escape the store root.
+var ErrInvalidKey = errors.New("store: invalid blob key")
+
+// cleanKey validates and normalizes a blob key.
+func cleanKey(key string) (string, error) {
+	key = strings.TrimPrefix(key, "/")
+	if key == "" {
+		return "", ErrInvalidKey
+	}
+	clean := filepath.ToSlash(filepath.Clean(key))
+	if clean == "." || strings.HasPrefix(clean, "../") || clean == ".." {
+		return "", ErrInvalidKey
+	}
+	return clean, nil
+}
+
+// Put stores data under key.
+func (b *BlobStore) Put(key string, data []byte) error {
+	clean, err := cleanKey(key)
+	if err != nil {
+		return fmt.Errorf("%w: %q", err, key)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dir != "" {
+		path := filepath.Join(b.dir, filepath.FromSlash(clean))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("store: creating blob parent: %w", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("store: writing blob %s: %w", clean, err)
+		}
+		return nil
+	}
+	b.mem[clean] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns the blob stored under key.
+func (b *BlobStore) Get(key string) ([]byte, error) {
+	clean, err := cleanKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", err, key)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.dir != "" {
+		data, err := os.ReadFile(filepath.Join(b.dir, filepath.FromSlash(clean)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("%w: %s", ErrNotFound, clean)
+			}
+			return nil, fmt.Errorf("store: reading blob %s: %w", clean, err)
+		}
+		return data, nil
+	}
+	data, ok := b.mem[clean]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, clean)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns the sorted keys under the given prefix.
+func (b *BlobStore) List(prefix string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	prefix = strings.TrimPrefix(prefix, "/")
+	var keys []string
+	if b.dir != "" {
+		root := b.dir
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			key := filepath.ToSlash(rel)
+			if strings.HasPrefix(key, prefix) {
+				keys = append(keys, key)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: listing blobs: %w", err)
+		}
+	} else {
+		for key := range b.mem {
+			if strings.HasPrefix(key, prefix) {
+				keys = append(keys, key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// siteKey builds the blob key for one file of a stored site.
+func siteKey(testID, pageName, rel string) string {
+	return testID + "/" + pageName + "/" + rel
+}
+
+// PutSite stores every file of a site under testID/pageName/, plus a
+// marker recording the main file name so GetSite can reconstruct it.
+func (b *BlobStore) PutSite(testID, pageName string, site *webgen.Site) error {
+	if err := site.Validate(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := b.Put(siteKey(testID, pageName, ".main"), []byte(site.MainFile)); err != nil {
+		return err
+	}
+	for _, rel := range site.Paths() {
+		data, _ := site.Get(rel)
+		if err := b.Put(siteKey(testID, pageName, rel), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetSite reconstructs a site stored with PutSite.
+func (b *BlobStore) GetSite(testID, pageName string) (*webgen.Site, error) {
+	main, err := b.Get(siteKey(testID, pageName, ".main"))
+	if err != nil {
+		return nil, err
+	}
+	site := webgen.NewSite(string(main))
+	prefix := testID + "/" + pageName + "/"
+	keys, err := b.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		rel := strings.TrimPrefix(key, prefix)
+		if rel == ".main" {
+			continue
+		}
+		data, err := b.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		site.Put(rel, data)
+	}
+	if err := site.Validate(); err != nil {
+		return nil, fmt.Errorf("store: reconstructing %s/%s: %w", testID, pageName, err)
+	}
+	return site, nil
+}

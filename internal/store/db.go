@@ -1,0 +1,348 @@
+// Package store implements Kaleidoscope's storage substrate: a small
+// embedded document database (standing in for the paper's MongoDB) and a
+// blob store for integrated-webpage files. The database holds schemaless
+// JSON documents in named collections — the paper uses three: integrated
+// webpages, test information, and participant responses — supports
+// filtered queries, and optionally persists each collection as a JSON-lines
+// write-ahead log that is replayed on open.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Document is one schemaless record. Values must be JSON-encodable.
+type Document map[string]any
+
+// IDField is the key under which a document's identity is stored, echoing
+// MongoDB's convention.
+const IDField = "_id"
+
+// ID returns the document's id ("" when unset).
+func (d Document) ID() string {
+	id, _ := d[IDField].(string)
+	return id
+}
+
+// Clone returns a deep copy of the document (via JSON round-trip, which is
+// safe because documents are JSON-encodable by contract).
+func (d Document) Clone() Document {
+	data, err := json.Marshal(d)
+	if err != nil {
+		// Non-encodable values violate the Document contract; fall back to
+		// a shallow copy rather than corrupting the store.
+		cp := make(Document, len(d))
+		for k, v := range d {
+			cp[k] = v
+		}
+		return cp
+	}
+	var cp Document
+	if err := json.Unmarshal(data, &cp); err != nil {
+		cp = make(Document, len(d))
+		for k, v := range d {
+			cp[k] = v
+		}
+	}
+	return cp
+}
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("store: document not found")
+	ErrClosed   = errors.New("store: database closed")
+)
+
+// DB is a collection-oriented document database. The zero value is not
+// usable; construct with Open or OpenMemory.
+type DB struct {
+	mu          sync.RWMutex
+	dir         string // "" = memory-only
+	collections map[string]*Collection
+	closed      bool
+}
+
+// OpenMemory returns a purely in-memory database.
+func OpenMemory() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// Open returns a database persisted under dir (created if needed). Each
+// collection is stored as <dir>/<name>.jsonl and replayed on open.
+func Open(dir string) (*DB, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory; use OpenMemory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	db := &DB{dir: dir, collections: make(map[string]*Collection)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		collName := strings.TrimSuffix(name, ".jsonl")
+		coll, err := db.loadCollection(collName)
+		if err != nil {
+			return nil, err
+		}
+		db.collections[collName] = coll
+	}
+	return db, nil
+}
+
+// Collection returns (creating if necessary) the named collection.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.collections[name]; ok {
+		return c
+	}
+	c := &Collection{
+		name: name,
+		db:   db,
+		docs: make(map[string]Document),
+	}
+	db.collections[name] = c
+	return c
+}
+
+// CollectionNames returns the sorted names of existing collections.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close marks the database closed. Persisted data is already on disk (every
+// write is flushed through the WAL), so Close is cheap.
+func (db *DB) Close() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+}
+
+// walRecord is one line of a collection's JSONL log.
+type walRecord struct {
+	Op  string   `json:"op"` // "put" or "del"
+	ID  string   `json:"id"`
+	Doc Document `json:"doc,omitempty"`
+}
+
+// loadCollection replays a collection's WAL.
+func (db *DB) loadCollection(name string) (*Collection, error) {
+	c := &Collection{name: name, db: db, docs: make(map[string]Document)}
+	path := db.collectionPath(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("store: %s line %d: %w", path, i+1, err)
+		}
+		switch rec.Op {
+		case "put":
+			c.docs[rec.ID] = rec.Doc
+		case "del":
+			delete(c.docs, rec.ID)
+		default:
+			return nil, fmt.Errorf("store: %s line %d: unknown op %q", path, i+1, rec.Op)
+		}
+		// Track the sequence high-water mark for id generation.
+		if n, ok := parseSeqID(rec.ID); ok && n > c.seq {
+			c.seq = n
+		}
+	}
+	return c, nil
+}
+
+func (db *DB) collectionPath(name string) string {
+	return filepath.Join(db.dir, name+".jsonl")
+}
+
+// parseSeqID recognizes generated ids of the form "doc-<n>".
+func parseSeqID(id string) (int64, bool) {
+	const prefix = "doc-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Collection is a named set of documents.
+type Collection struct {
+	mu   sync.RWMutex
+	name string
+	db   *DB
+	docs map[string]Document
+	seq  int64
+}
+
+// appendWAL writes one record to the collection's log when the database is
+// persistent.
+func (c *Collection) appendWAL(rec walRecord) error {
+	if c.db.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL record: %w", err)
+	}
+	f, err := os.OpenFile(c.db.collectionPath(c.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: appending WAL: %w", err)
+	}
+	return nil
+}
+
+// Insert stores a new document and returns its id. When the document lacks
+// an _id one is generated; inserting a document whose _id already exists
+// overwrites it (upsert), matching the store's last-write-wins semantics.
+func (c *Collection) Insert(doc Document) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := doc.Clone()
+	id := cp.ID()
+	if id == "" {
+		c.seq++
+		id = "doc-" + strconv.FormatInt(c.seq, 10)
+		cp[IDField] = id
+	}
+	if err := c.appendWAL(walRecord{Op: "put", ID: id, Doc: cp}); err != nil {
+		return "", err
+	}
+	c.docs[id] = cp
+	return id, nil
+}
+
+// Get returns a copy of the document with the given id.
+func (c *Collection) Get(id string) (Document, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	doc, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	return doc.Clone(), nil
+}
+
+// Find returns copies of all documents matching the predicate, sorted by
+// id for determinism. A nil predicate matches everything.
+func (c *Collection) Find(pred func(Document) bool) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Document
+	for _, doc := range c.docs {
+		if pred == nil || pred(doc) {
+			out = append(out, doc.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// FindEq returns documents whose field equals value. Numeric values are
+// compared after JSON normalization (all numbers are float64).
+func (c *Collection) FindEq(field string, value any) []Document {
+	norm := normalizeValue(value)
+	return c.Find(func(d Document) bool {
+		return normalizeValue(d[field]) == norm
+	})
+}
+
+// normalizeValue maps numeric types onto float64 so values survive the
+// JSON round-trip documents go through.
+func normalizeValue(v any) any {
+	switch n := v.(type) {
+	case int:
+		return float64(n)
+	case int32:
+		return float64(n)
+	case int64:
+		return float64(n)
+	case float32:
+		return float64(n)
+	default:
+		return v
+	}
+}
+
+// Update applies mutate to the document with the given id and persists the
+// result. The callback receives a copy; returning nil aborts with no change.
+func (c *Collection) Update(id string, mutate func(Document) Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	updated := mutate(doc.Clone())
+	if updated == nil {
+		return nil
+	}
+	updated[IDField] = id
+	if err := c.appendWAL(walRecord{Op: "put", ID: id, Doc: updated}); err != nil {
+		return err
+	}
+	c.docs[id] = updated
+	return nil
+}
+
+// Delete removes the document with the given id (no error if absent).
+func (c *Collection) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[id]; !ok {
+		return nil
+	}
+	if err := c.appendWAL(walRecord{Op: "del", ID: id}); err != nil {
+		return err
+	}
+	delete(c.docs, id)
+	return nil
+}
+
+// Count returns the number of documents in the collection.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }

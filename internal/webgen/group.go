@@ -1,0 +1,157 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroupConfig parameterizes the research-group landing page generator —
+// the subject of the paper's Kaleidoscope-vs-A/B study (Fig. 6).
+type GroupConfig struct {
+	// GroupName heads the page. Defaults to "Networks Research Group".
+	GroupName string
+	// Sections lists the collapsible section titles. Defaults to the
+	// paper's nine sections ("About", "Selected Publications", ...).
+	Sections []string
+	// ItemsPerSection is how many entries each section holds. Defaults
+	// to 6.
+	ItemsPerSection int
+	// VisibleItems is how many entries are shown before the Expand button
+	// truncates a section. Defaults to 2.
+	VisibleItems int
+	// ExpandVariant selects the paper's "B" version of the Expand button:
+	// 1.5x larger text, a captivating symbol, positioned closer to the main
+	// text. The zero value is the original ("A") version.
+	ExpandVariant bool
+	// Seed drives deterministic prose generation.
+	Seed int64
+}
+
+// defaultGroupSections are the paper's nine landing-page sections.
+var defaultGroupSections = []string{
+	"About", "News", "People", "Selected Publications", "Selected Talks",
+	"Projects", "Press", "Teaching", "Contact",
+}
+
+func (c GroupConfig) withDefaults() GroupConfig {
+	if c.GroupName == "" {
+		c.GroupName = "Networks Research Group"
+	}
+	if len(c.Sections) == 0 {
+		c.Sections = defaultGroupSections
+	}
+	if c.ItemsPerSection == 0 {
+		c.ItemsPerSection = 6
+	}
+	if c.VisibleItems == 0 {
+		c.VisibleItems = 2
+	}
+	return c
+}
+
+// GroupPage generates the research-group landing page as a saved-webpage
+// folder. Stable hooks the experiments rely on:
+//
+//	.section       — one per collapsible section
+//	.section-body  — the visible entries
+//	.expand-btn    — the Expand control (the A/B study's subject)
+//
+// The variant version adds the class "expand-btn-variant" to the button and
+// renders it inline after the visible entries (closer to the main text)
+// with a symbol and 1.5x font size, per the paper's description.
+func GroupPage(cfg GroupConfig) *Site {
+	cfg = cfg.withDefaults()
+	gen := newProse(cfg.Seed)
+	site := NewSite("index.html")
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<meta charset=\"utf-8\">\n<title>%s</title>\n", cfg.GroupName)
+	b.WriteString("<link rel=\"stylesheet\" href=\"css/group.css\">\n")
+	b.WriteString("<script src=\"js/expand.js\"></script>\n")
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<header id=\"masthead\"><h1>%s</h1><img src=\"img/logo.png\" alt=\"logo\" width=\"96\" height=\"96\"></header>\n", cfg.GroupName)
+	b.WriteString("<main id=\"sections\">\n")
+
+	for i, title := range cfg.Sections {
+		fmt.Fprintf(&b, "<section class=\"section\" id=\"sec-%d\">\n", i+1)
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", title)
+		b.WriteString("<ul class=\"section-body\">\n")
+		for item := 0; item < cfg.VisibleItems && item < cfg.ItemsPerSection; item++ {
+			fmt.Fprintf(&b, "<li>%s</li>\n", gen.Sentence())
+		}
+		b.WriteString("</ul>\n")
+		hidden := cfg.ItemsPerSection - cfg.VisibleItems
+		if hidden > 0 {
+			b.WriteString(expandButton(cfg.ExpandVariant, hidden))
+		}
+		b.WriteString("</section>\n")
+	}
+
+	b.WriteString("</main>\n</body>\n</html>\n")
+	site.Put("index.html", []byte(b.String()))
+	site.Put("css/group.css", []byte(groupCSS(cfg)))
+	site.Put("js/expand.js", []byte(expandJS))
+	site.Put("img/logo.png", fakePNG(7, 8<<10))
+	return site
+}
+
+// expandButton renders the Expand control. The original version (A) is a
+// small right-aligned text link; the variant (B) is larger, symbol-adorned,
+// and placed immediately after the list items.
+func expandButton(variant bool, hiddenCount int) string {
+	if variant {
+		return fmt.Sprintf(
+			"<button class=\"expand-btn expand-btn-variant\" data-hidden=\"%d\">&#187; Expand</button>\n",
+			hiddenCount)
+	}
+	return fmt.Sprintf(
+		"<div class=\"expand-row\"><button class=\"expand-btn\" data-hidden=\"%d\">Expand</button></div>\n",
+		hiddenCount)
+}
+
+func groupCSS(cfg GroupConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `body { margin: 0; font-family: %s; color: #1b1b1b; }
+#masthead { display: flex; justify-content: space-between; align-items: center; padding: 16px 32px; background: #4b2e83; color: #fff; }
+#sections { max-width: 860px; margin: 0 auto; padding: 16px; }
+.section { margin-bottom: 24px; border-bottom: 1px solid #ddd; }
+.section h2 { font-size: 19px; }
+.section-body { font-size: 14px; line-height: 1.5; }
+.expand-row { text-align: right; }
+.expand-btn { border: none; background: none; color: #4b2e83; cursor: pointer; font-size: 12px; }
+`, cssEscapeFontFamily([]string{"Helvetica", "Arial", "sans-serif"}))
+	if cfg.ExpandVariant {
+		// 1.5x larger (12px -> 18px), bold, inline after the entries.
+		b.WriteString(".expand-btn-variant { font-size: 18px; font-weight: bold; display: block; margin: 4px 0 8px; }\n")
+	}
+	return b.String()
+}
+
+// expandJS toggles hidden section entries — the click the A/B experiment
+// counts.
+const expandJS = `(function () {
+  "use strict";
+  function wire() {
+    var btns = document.querySelectorAll(".expand-btn");
+    for (var i = 0; i < btns.length; i++) {
+      btns[i].addEventListener("click", function (ev) {
+        ev.target.setAttribute("data-clicked", "true");
+      });
+    }
+  }
+  if (document.readyState !== "loading") { wire(); }
+  else { document.addEventListener("DOMContentLoaded", wire); }
+})();
+`
+
+// GroupPageVersions returns the paper's two study versions: the original
+// (A) and the improved-button variant (B), generated from the same seed so
+// only the Expand button differs.
+func GroupPageVersions(base GroupConfig) (a, b *Site) {
+	orig := base
+	orig.ExpandVariant = false
+	variant := base
+	variant.ExpandVariant = true
+	return GroupPage(orig), GroupPage(variant)
+}

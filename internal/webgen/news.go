@@ -1,0 +1,110 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NewsConfig parameterizes the news-landing-page generator — a third
+// workload shape: image-heavy above the fold (hero + card grid) with a
+// long headline river below. Useful for page-load studies where images,
+// not text, dominate the visual experience (the inverse of the wiki
+// article).
+type NewsConfig struct {
+	// SiteName heads the masthead. Defaults to "The Daily Miscellany".
+	SiteName string
+	// Cards is the number of story cards in the top grid. Defaults to 6.
+	Cards int
+	// Headlines is the number of text-only river entries. Defaults to 20.
+	Headlines int
+	// HeroBytes / CardBytes size the generated images. Defaults 96 KiB /
+	// 20 KiB — images dominate the payload, as on real news fronts.
+	HeroBytes int
+	CardBytes int
+	// Seed drives deterministic prose generation.
+	Seed int64
+}
+
+func (c NewsConfig) withDefaults() NewsConfig {
+	if c.SiteName == "" {
+		c.SiteName = "The Daily Miscellany"
+	}
+	if c.Cards == 0 {
+		c.Cards = 6
+	}
+	if c.Headlines == 0 {
+		c.Headlines = 20
+	}
+	if c.HeroBytes == 0 {
+		c.HeroBytes = 96 << 10
+	}
+	if c.CardBytes == 0 {
+		c.CardBytes = 20 << 10
+	}
+	return c
+}
+
+// NewsPage generates the news landing page as a saved-webpage folder.
+// Stable hooks for load schedules:
+//
+//	#masthead — site chrome
+//	#hero     — the lead story with its large image
+//	#cards    — the story-card grid (one image per card)
+//	#river    — the text-only headline list
+func NewsPage(cfg NewsConfig) *Site {
+	cfg = cfg.withDefaults()
+	gen := newProse(cfg.Seed)
+	site := NewSite("index.html")
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<meta charset=\"utf-8\">\n<title>%s</title>\n", cfg.SiteName)
+	b.WriteString("<link rel=\"stylesheet\" href=\"css/news.css\">\n")
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<header id=\"masthead\"><h1>%s</h1></header>\n", cfg.SiteName)
+
+	// Hero story.
+	b.WriteString("<section id=\"hero\">\n")
+	b.WriteString("<img src=\"img/hero.png\" alt=\"lead story\" width=\"960\" height=\"420\">\n")
+	fmt.Fprintf(&b, "<h2>%s</h2>\n<p class=\"standfirst\">%s</p>\n", gen.Title(), gen.Paragraph(2))
+	b.WriteString("</section>\n")
+
+	// Card grid.
+	b.WriteString("<section id=\"cards\">\n")
+	for i := 1; i <= cfg.Cards; i++ {
+		fmt.Fprintf(&b, "<article class=\"card\" id=\"card-%d\">\n", i)
+		fmt.Fprintf(&b, "<img src=\"img/card-%d.png\" alt=\"story %d\" width=\"300\" height=\"180\">\n", i, i)
+		fmt.Fprintf(&b, "<h3>%s</h3>\n<p>%s</p>\n", gen.Title(), gen.Sentence())
+		b.WriteString("</article>\n")
+	}
+	b.WriteString("</section>\n")
+
+	// Headline river.
+	b.WriteString("<section id=\"river\">\n<h2>More stories</h2>\n<ul>\n")
+	for i := 0; i < cfg.Headlines; i++ {
+		fmt.Fprintf(&b, "<li><a href=\"#story-%d\">%s</a></li>\n", i, gen.Sentence())
+	}
+	b.WriteString("</ul>\n</section>\n</body>\n</html>\n")
+
+	site.Put("index.html", []byte(b.String()))
+	site.Put("css/news.css", []byte(newsCSS))
+	site.Put("img/hero.png", fakePNG(21, cfg.HeroBytes))
+	for i := 1; i <= cfg.Cards; i++ {
+		site.Put(fmt.Sprintf("img/card-%d.png", i), fakePNG(byte(21+i), cfg.CardBytes))
+	}
+	return site
+}
+
+const newsCSS = `body { margin: 0; font-family: Georgia, serif; color: #111; }
+#masthead { border-bottom: 3px solid #111; padding: 12px 24px; }
+#masthead h1 { margin: 0; font-size: 30px; }
+#hero { max-width: 960px; margin: 0 auto; padding: 12px; }
+#hero h2 { font-size: 26px; }
+.standfirst { font-size: 16px; color: #333; }
+#cards { display: flex; max-width: 960px; margin: 0 auto; padding: 12px; }
+.card { flex: 1; padding: 6px; }
+.card h3 { font-size: 16px; }
+.card p { font-size: 13px; color: #444; }
+#river { max-width: 960px; margin: 0 auto; padding: 12px; font-size: 14px; }
+#river li { margin-bottom: 6px; }
+`

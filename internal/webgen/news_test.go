@@ -1,0 +1,68 @@
+package webgen
+
+import (
+	"bytes"
+	"testing"
+
+	"kaleidoscope/internal/cssx"
+	"kaleidoscope/internal/htmlx"
+)
+
+func TestNewsPageStructure(t *testing.T) {
+	site := NewsPage(NewsConfig{Seed: 9})
+	if err := site.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	doc := htmlx.Parse(string(site.HTML()))
+	for _, id := range []string{"masthead", "hero", "cards", "river"} {
+		if doc.ByID(id) == nil {
+			t.Errorf("missing #%s", id)
+		}
+	}
+	cards, err := cssx.Query(doc, "#cards .card")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 6 {
+		t.Errorf("cards = %d, want 6", len(cards))
+	}
+	imgs := doc.ByTag("img")
+	if len(imgs) != 7 { // hero + 6 cards
+		t.Errorf("images = %d, want 7", len(imgs))
+	}
+	// Image-heavy payload: images dominate total bytes.
+	var imgBytes int
+	for _, p := range site.Paths() {
+		if data, _ := site.Get(p); len(p) > 4 && p[:4] == "img/" {
+			imgBytes += len(data)
+		}
+	}
+	if imgBytes*2 < site.TotalBytes() {
+		t.Errorf("images should dominate payload: %d of %d", imgBytes, site.TotalBytes())
+	}
+}
+
+func TestNewsPageDeterminism(t *testing.T) {
+	a := NewsPage(NewsConfig{Seed: 4})
+	b := NewsPage(NewsConfig{Seed: 4})
+	if !bytes.Equal(a.HTML(), b.HTML()) {
+		t.Error("same seed should give identical pages")
+	}
+	c := NewsPage(NewsConfig{Seed: 5})
+	if bytes.Equal(a.HTML(), c.HTML()) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNewsPageCustomSizes(t *testing.T) {
+	site := NewsPage(NewsConfig{Seed: 1, Cards: 3, Headlines: 5, HeroBytes: 1000, CardBytes: 500})
+	hero, _ := site.Get("img/hero.png")
+	if len(hero) != 1000 {
+		t.Errorf("hero bytes = %d", len(hero))
+	}
+	doc := htmlx.Parse(string(site.HTML()))
+	river := doc.ByID("river")
+	if got := len(river.ByTag("li")); got != 5 {
+		t.Errorf("headlines = %d, want 5", got)
+	}
+}

@@ -1,0 +1,125 @@
+// Package webgen generates the synthetic webpages Kaleidoscope's
+// experiments run on: a text-heavy wiki-style article (the paper uses the
+// Wikipedia "rock hyrax" page) and a research-group landing page with
+// collapsible sections and an "Expand" button (the paper's A/B study
+// subject). Pages are produced as saved-webpage folders — an initial HTML
+// document plus resource files — exactly the input format the paper's
+// aggregator expects, and generation is deterministic given a seed.
+package webgen
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Site is one version of a webpage organized as a saved-webpage folder:
+// an initial HTML document plus its resources, all path-addressed relative
+// to the folder root.
+type Site struct {
+	// MainFile is the initial HTML file name (e.g. "index.html").
+	MainFile string
+	// Files maps relative paths to file contents. Files[MainFile] is the
+	// HTML document.
+	Files map[string][]byte
+}
+
+// NewSite returns an empty site with the given main file name.
+func NewSite(mainFile string) *Site {
+	return &Site{MainFile: mainFile, Files: make(map[string][]byte)}
+}
+
+// HTML returns the main document's contents.
+func (s *Site) HTML() []byte { return s.Files[s.MainFile] }
+
+// Put stores a file at the given relative path.
+func (s *Site) Put(relPath string, data []byte) {
+	s.Files[path.Clean(relPath)] = data
+}
+
+// Get returns a file's contents and whether it exists. Paths are cleaned,
+// so "./css/style.css" and "css/style.css" are the same file.
+func (s *Site) Get(relPath string) ([]byte, bool) {
+	data, ok := s.Files[path.Clean(relPath)]
+	return data, ok
+}
+
+// Paths returns the sorted list of file paths in the site.
+func (s *Site) Paths() []string {
+	out := make([]string, 0, len(s.Files))
+	for p := range s.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the summed size of all files, which the network
+// simulator uses for fetch timing.
+func (s *Site) TotalBytes() int {
+	var n int
+	for _, data := range s.Files {
+		n += len(data)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the site.
+func (s *Site) Clone() *Site {
+	cp := NewSite(s.MainFile)
+	for p, data := range s.Files {
+		cp.Files[p] = append([]byte(nil), data...)
+	}
+	return cp
+}
+
+// Validate checks structural sanity: a main file that exists and is
+// non-empty.
+func (s *Site) Validate() error {
+	if s.MainFile == "" {
+		return errors.New("webgen: empty main file name")
+	}
+	data, ok := s.Files[s.MainFile]
+	if !ok {
+		return fmt.Errorf("webgen: main file %q missing from site", s.MainFile)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("webgen: main file %q is empty", s.MainFile)
+	}
+	return nil
+}
+
+// fakePNG builds a deterministic pseudo-image payload of the given size.
+// The leading bytes mimic a PNG signature so content sniffing in the
+// inliner has something realistic to chew on.
+func fakePNG(seedByte byte, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	data := make([]byte, size)
+	copy(data, []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'})
+	state := uint32(seedByte) | 0x9e3779b9
+	for i := 8; i < size; i++ {
+		// xorshift32 keeps the payload incompressible-looking and cheap.
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		data[i] = byte(state)
+	}
+	return data
+}
+
+// cssEscapeFontFamily quotes a font family list for CSS output.
+func cssEscapeFontFamily(families []string) string {
+	quoted := make([]string, len(families))
+	for i, f := range families {
+		if strings.ContainsAny(f, " -") && !strings.EqualFold(f, "sans-serif") && !strings.EqualFold(f, "serif") {
+			quoted[i] = `"` + f + `"`
+		} else {
+			quoted[i] = f
+		}
+	}
+	return strings.Join(quoted, ", ")
+}

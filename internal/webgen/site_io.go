@@ -1,0 +1,58 @@
+package webgen
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteDir materializes the site as a saved-webpage folder on disk —
+// the on-disk input format the paper's aggregator consumes.
+func (s *Site) WriteDir(dir string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, rel := range s.Paths() {
+		data, _ := s.Get(rel)
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("webgen: creating %s: %w", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("webgen: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a saved-webpage folder from disk into a Site. mainFile is
+// the initial HTML document's path relative to dir (e.g. "index.html").
+func LoadDir(dir, mainFile string) (*Site, error) {
+	site := NewSite(mainFile)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("webgen: reading %s: %w", path, err)
+		}
+		site.Put(filepath.ToSlash(rel), data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("webgen: loading %s: %w", dir, err)
+	}
+	if err := site.Validate(); err != nil {
+		return nil, err
+	}
+	return site, nil
+}

@@ -1,0 +1,48 @@
+package webgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteDirLoadDirRoundTrip(t *testing.T) {
+	site := WikiArticle(WikiConfig{Seed: 8})
+	dir := t.TempDir()
+	if err := site.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	// Spot-check on-disk layout.
+	if _, err := os.Stat(filepath.Join(dir, "css", "style.css")); err != nil {
+		t.Fatalf("css not materialized: %v", err)
+	}
+	loaded, err := LoadDir(dir, "index.html")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(loaded.Files) != len(site.Files) {
+		t.Errorf("files = %d, want %d", len(loaded.Files), len(site.Files))
+	}
+	if string(loaded.HTML()) != string(site.HTML()) {
+		t.Error("HTML mismatch after round trip")
+	}
+}
+
+func TestWriteDirInvalidSite(t *testing.T) {
+	if err := NewSite("index.html").WriteDir(t.TempDir()); err == nil {
+		t.Error("invalid site should fail")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/nonexistent-kscope-dir", "index.html"); err == nil {
+		t.Error("missing dir should fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "other.html"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir, "index.html"); err == nil {
+		t.Error("missing main file should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package webgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// prose is a deterministic text generator producing wiki-flavoured filler.
+// It exists so generated articles are text-heavy (like the paper's
+// Wikipedia test page) without shipping real corpus data.
+type prose struct {
+	rng *rand.Rand
+}
+
+// Vocabulary skewed toward natural-history articles, echoing the paper's
+// "rock hyrax" test page.
+var (
+	proseNouns = []string{
+		"hyrax", "colony", "habitat", "savanna", "outcrop", "burrow",
+		"species", "mammal", "diet", "predator", "territory", "climate",
+		"vegetation", "population", "behavior", "study", "region",
+		"observation", "researcher", "rock", "crevice", "herbivore",
+		"gestation", "juvenile", "vocalization", "plateau",
+	}
+	proseVerbs = []string{
+		"inhabits", "forages", "observes", "describes", "suggests",
+		"indicates", "occupies", "exhibits", "maintains", "produces",
+		"resembles", "documents", "reports", "shows", "retains",
+	}
+	proseAdjectives = []string{
+		"small", "terrestrial", "social", "diurnal", "notable", "common",
+		"widespread", "distinctive", "rocky", "arid", "dense", "seasonal",
+		"typical", "related", "early", "recent",
+	}
+	proseConnectors = []string{
+		"however", "in addition", "by contrast", "consequently",
+		"furthermore", "in most regions", "according to field studies",
+		"during the dry season",
+	}
+)
+
+func newProse(seed int64) *prose {
+	return &prose{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *prose) pick(words []string) string {
+	return words[p.rng.Intn(len(words))]
+}
+
+// Sentence produces one sentence of 8-18 words.
+func (p *prose) Sentence() string {
+	var b strings.Builder
+	clauses := 1 + p.rng.Intn(2)
+	for c := 0; c < clauses; c++ {
+		if c > 0 {
+			b.WriteString(", ")
+			b.WriteString(p.pick(proseConnectors))
+			b.WriteString(" ")
+		}
+		b.WriteString("the ")
+		b.WriteString(p.pick(proseAdjectives))
+		b.WriteString(" ")
+		b.WriteString(p.pick(proseNouns))
+		b.WriteString(" ")
+		b.WriteString(p.pick(proseVerbs))
+		b.WriteString(" ")
+		if p.rng.Intn(2) == 0 {
+			b.WriteString(p.pick(proseAdjectives))
+			b.WriteString(" ")
+		}
+		b.WriteString(p.pick(proseNouns))
+		if p.rng.Intn(3) == 0 {
+			b.WriteString(" near the ")
+			b.WriteString(p.pick(proseNouns))
+		}
+	}
+	s := b.String()
+	return strings.ToUpper(s[:1]) + s[1:] + "."
+}
+
+// Paragraph produces n sentences joined with spaces.
+func (p *prose) Paragraph(sentences int) string {
+	parts := make([]string, sentences)
+	for i := range parts {
+		parts[i] = p.Sentence()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Title produces a 2-4 word capitalized heading.
+func (p *prose) Title() string {
+	n := 2 + p.rng.Intn(3)
+	words := make([]string, n)
+	for i := range words {
+		var w string
+		if i%2 == 0 {
+			w = p.pick(proseAdjectives)
+		} else {
+			w = p.pick(proseNouns)
+		}
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}
