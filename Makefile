@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build check vet test race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate: static analysis plus the full suite under the race detector.
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

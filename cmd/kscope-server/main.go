@@ -6,6 +6,10 @@
 //	GET  /api/tests/{id}/pages/{page}/{file}   integrated-page resources
 //	POST /api/tests/{id}/sessions   participant session upload
 //	GET  /api/tests/{id}/results    concluded results (?quality=1 for QC)
+//	GET  /metrics                   Prometheus-style serving-path metrics
+//
+// Every request is logged as one structured line (request id, route,
+// status, latency) on stderr.
 //
 // Prepare storage first with: kscope prepare -params ... -sites ... -store DIR
 package main
@@ -13,11 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
+	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/server"
 	"kaleidoscope/internal/store"
 )
@@ -33,26 +39,28 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("kscope-server", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8780", "listen address")
 	storeDir := fs.String("store", "", "storage directory prepared by kscope (required)")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, cleanup, err := buildServer(*storeDir)
+	handler, cleanup, err := buildHandler(*storeDir, *quiet)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("kscope-server listening on http://%s (store: %s)\n", *addr, *storeDir)
 	return httpServer.ListenAndServe()
 }
 
-// buildServer wires the core server over a prepared storage directory and
-// returns a cleanup closing the database.
-func buildServer(storeDir string) (*server.Server, func(), error) {
+// buildHandler wires the core server (with metrics and request logging)
+// over a prepared storage directory and returns a cleanup closing the
+// database.
+func buildHandler(storeDir string, quiet bool) (http.Handler, func(), error) {
 	if storeDir == "" {
 		return nil, nil, fmt.Errorf("-store is required")
 	}
@@ -65,10 +73,15 @@ func buildServer(storeDir string) (*server.Server, func(), error) {
 		db.Close()
 		return nil, nil, err
 	}
-	srv, err := server.New(db, blobs)
+	reg := obs.NewRegistry()
+	srv, err := server.New(db, blobs, server.WithObservability(reg))
 	if err != nil {
 		db.Close()
 		return nil, nil, err
 	}
-	return srv, db.Close, nil
+	var logger *slog.Logger
+	if !quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return obs.Middleware(srv, logger, reg, server.RouteLabel), db.Close, nil
 }

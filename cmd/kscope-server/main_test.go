@@ -13,8 +13,8 @@ import (
 	"kaleidoscope/internal/webgen"
 )
 
-func TestBuildServerValidation(t *testing.T) {
-	if _, _, err := buildServer(""); err == nil {
+func TestBuildHandlerValidation(t *testing.T) {
+	if _, _, err := buildHandler("", true); err == nil {
 		t.Error("empty store dir should fail")
 	}
 }
@@ -50,9 +50,9 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 	}
 	db.Close()
 
-	srv, cleanup, err := buildServer(dir)
+	srv, cleanup, err := buildHandler(dir, true)
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("buildHandler: %v", err)
 	}
 	defer cleanup()
 	ts := httptest.NewServer(srv)
@@ -68,5 +68,27 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 	}
 	if resp.StatusCode != 200 || !strings.Contains(string(body), "served") {
 		t.Errorf("status=%d body=%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("missing X-Request-ID header from obs middleware")
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`kscope_http_requests_total{route="GET /api/tests/{id}",status="200"} 1`,
+		"kscope_cache_hit_ratio",
+		"kscope_store_index_hits",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
 }

@@ -98,11 +98,16 @@ type Aggregator struct {
 	blobs *store.BlobStore
 }
 
-// New returns an aggregator over the given storage.
+// New returns an aggregator over the given storage. It declares the
+// test_id indexes the by-test lookups (LoadPrepared, the server's session
+// queries) rely on; EnsureIndex is idempotent, so this composes with other
+// components declaring the same indexes.
 func New(db *store.DB, blobs *store.BlobStore) (*Aggregator, error) {
 	if db == nil || blobs == nil {
 		return nil, errors.New("aggregator: nil storage")
 	}
+	db.Collection(PagesCollection).EnsureIndex("test_id")
+	db.Collection(ResponsesCollection).EnsureIndex("test_id")
 	return &Aggregator{db: db, blobs: blobs}, nil
 }
 
@@ -296,6 +301,12 @@ func LoadPrepared(db *store.DB, testID string) (*Prepared, error) {
 	}
 	if len(prep.Pages) == 0 {
 		return nil, fmt.Errorf("aggregator: test %s has no pages", testID)
+	}
+	// The test document records how many pages were persisted; a mismatch
+	// means the pages collection lost or gained documents behind our back.
+	if want, ok := testDoc.Int("page_count"); ok && want != len(prep.Pages) {
+		return nil, fmt.Errorf("aggregator: test %s has %d pages, expected %d",
+			testID, len(prep.Pages), want)
 	}
 	return prep, nil
 }

@@ -18,9 +18,10 @@ import (
 // PageContext is everything the perception model may look at for one
 // side-by-side comparison: the parsed side documents and their simulated
 // replays. This mirrors what a human sees — the rendered pages and their
-// loading behaviour — not the test's metadata.
+// loading behaviour — not the test's metadata. Page is the server's
+// redacted view, so answer functions cannot peek at control answers.
 type PageContext struct {
-	Page      aggregator.IntegratedPage
+	Page      server.PageView
 	Left      *htmlx.Node
 	Right     *htmlx.Node
 	LeftPlay  *pageload.Replay
@@ -83,10 +84,11 @@ func (r *Runner) Run(testID string) (*server.SessionUpload, error) {
 			if page.Kind == aggregator.KindControl {
 				// Control pages feed quality control, not results.
 				if qi == 0 {
+					// The expected answer is not in the payload; the
+					// server scores the control from storage on upload.
 					session.Controls = append(session.Controls, quality.ControlOutcome{
-						PageID:   page.ID,
-						Expected: page.Expected,
-						Got:      choice,
+						PageID: page.ID,
+						Got:    choice,
 					})
 				}
 				continue
@@ -114,7 +116,7 @@ func questionID(i int) string { return fmt.Sprintf("q%d", i) }
 
 // loadPage downloads an integrated page, parses both sides, and simulates
 // their replays from the injected schedules.
-func (r *Runner) loadPage(testID string, page aggregator.IntegratedPage, vp render.Viewport) (*PageContext, error) {
+func (r *Runner) loadPage(testID string, page server.PageView, vp render.Viewport) (*PageContext, error) {
 	// The integrated index page references left.html and right.html; the
 	// extension downloads all three like a browser would.
 	if _, err := r.Client.FetchPageFile(testID, page.ID, "index.html"); err != nil {

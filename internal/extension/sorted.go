@@ -136,10 +136,10 @@ func (r *SortedRunner) Run(testID string) (*SortedResult, error) {
 		behavior := r.Worker.BehaveOnce(r.RNG)
 		session.Behaviors = append(session.Behaviors, behavior)
 		choice, _ := r.Answer(r.Worker, ctx, info.Questions[0], r.RNG)
+		// Expected is filled in server-side from storage on upload.
 		session.Controls = append(session.Controls, quality.ControlOutcome{
-			PageID:   page.ID,
-			Expected: page.Expected,
-			Got:      choice,
+			PageID: page.ID,
+			Got:    choice,
 		})
 	}
 
@@ -151,7 +151,7 @@ func (r *SortedRunner) Run(testID string) (*SortedResult, error) {
 
 // loadPageSorted reuses the standard page loader through a throwaway
 // Runner, keeping one implementation of download+replay.
-func (r *SortedRunner) loadPageSorted(testID string, page aggregator.IntegratedPage, vp render.Viewport) (*PageContext, error) {
+func (r *SortedRunner) loadPageSorted(testID string, page server.PageView, vp render.Viewport) (*PageContext, error) {
 	base := &Runner{Client: r.Client, Worker: r.Worker, Answer: r.Answer, Viewport: vp, RNG: r.RNG}
 	return base.loadPage(testID, page, vp)
 }
@@ -183,8 +183,8 @@ func mirrorOutcome(o rank.Outcome) rank.Outcome {
 
 // indexPairs decodes "pair-i-j" real pages into a (i,j) lookup and derives
 // the version-name list (index -> left/right name).
-func indexPairs(pages []aggregator.IntegratedPage) (map[[2]int]aggregator.IntegratedPage, []string, error) {
-	pairs := make(map[[2]int]aggregator.IntegratedPage)
+func indexPairs(pages []server.PageView) (map[[2]int]server.PageView, []string, error) {
+	pairs := make(map[[2]int]server.PageView)
 	names := make(map[int]string)
 	maxIdx := -1
 	for _, p := range pages {

@@ -171,7 +171,7 @@ func TestParsePairPageID(t *testing.T) {
 }
 
 func TestIndexPairs(t *testing.T) {
-	pages := []aggregator.IntegratedPage{
+	pages := []server.PageView{
 		{ID: "pair-0-1", Kind: aggregator.KindReal, LeftName: "a", RightName: "b"},
 		{ID: "pair-0-2", Kind: aggregator.KindReal, LeftName: "a", RightName: "c"},
 		{ID: "pair-1-2", Kind: aggregator.KindReal, LeftName: "b", RightName: "c"},
@@ -188,13 +188,13 @@ func TestIndexPairs(t *testing.T) {
 		t.Errorf("names = %v", names)
 	}
 	// Gap in indices fails.
-	if _, _, err := indexPairs([]aggregator.IntegratedPage{
+	if _, _, err := indexPairs([]server.PageView{
 		{ID: "pair-0-2", Kind: aggregator.KindReal, LeftName: "a", RightName: "c"},
 	}); err == nil {
 		t.Error("missing version index should fail")
 	}
 	// Bad id fails.
-	if _, _, err := indexPairs([]aggregator.IntegratedPage{
+	if _, _, err := indexPairs([]server.PageView{
 		{ID: "weird", Kind: aggregator.KindReal},
 	}); err == nil {
 		t.Error("bad page id should fail")

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names emitted by Middleware.
+const (
+	MetricRequests        = "kscope_http_requests_total"
+	MetricRequestDuration = "kscope_http_request_duration_seconds"
+	MetricResponseBytes   = "kscope_http_response_bytes_total"
+)
+
+// RouteFunc maps a request onto a low-cardinality route label ("GET
+// /api/tests/{id}"). Returning "" labels the request "other".
+type RouteFunc func(*http.Request) string
+
+type ctxKey int
+
+const loggerKey ctxKey = 0
+
+// ContextLogger returns the request-scoped logger installed by Middleware,
+// or slog.Default() outside of one.
+func ContextLogger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}
+
+// statusWriter captures the response status and size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// reqSeq numbers requests process-wide for the request id.
+var reqSeq atomic.Int64
+
+// Middleware wraps next with request-scoped structured logging and metrics:
+// one log line per request (method, path, route, status, duration, bytes,
+// request id), a request counter by route and status, a latency histogram
+// by route, and a response-size counter. A nil logger disables logging; a
+// nil registry disables metrics; a nil route function labels every request
+// by its method only.
+func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route RouteFunc) http.Handler {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := reqSeq.Add(1)
+		reqLogger := logger.With("request_id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-ID", strconv.FormatInt(id, 10))
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), loggerKey, reqLogger)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		label := ""
+		if route != nil {
+			label = route(r)
+		}
+		if label == "" {
+			label = r.Method
+		}
+		if reg != nil {
+			status := strconv.Itoa(sw.status)
+			reg.Counter(MetricRequests, "route", label, "status", status).Inc()
+			reg.Counter(MetricResponseBytes, "route", label).Add(sw.bytes)
+			reg.Histogram(MetricRequestDuration, DefLatencyBuckets, "route", label).Observe(elapsed.Seconds())
+		}
+		reqLogger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", label,
+			"status", sw.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"bytes", sw.bytes,
+		)
+	})
+}

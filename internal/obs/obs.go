@@ -1,0 +1,240 @@
+// Package obs is Kaleidoscope's observability substrate: a dependency-free
+// metrics registry (atomic counters, fixed-bucket histograms, callback
+// gauges) with Prometheus-style text exposition, plus request-scoped
+// structured-logging middleware for the serving path. The paper's system
+// has no stated telemetry; growing the core server toward production
+// traffic makes "how many requests, how slow, how often did the store
+// scan" first-class questions.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// DefLatencyBuckets are the default request-latency histogram bounds, in
+// seconds.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram with atomic observation.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	total  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	sort.Float64s(cp)
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. All methods are safe for concurrent use; Counter and
+// HistogramVec lookups are cheap enough for per-request paths.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	gauges     map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+		gauges:     make(map[string]func() float64),
+	}
+}
+
+// key renders "name{k1=v1,k2=v2}" with label pairs in given order; labels
+// come as alternating key, value strings.
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and alternating label key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := key(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[k] = c
+	return c
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket bounds, and labels. Bounds are only consulted on creation.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	k := key(name, labels)
+	r.mu.RLock()
+	h, ok := r.histograms[k]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[k]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.histograms[k] = h
+	return h
+}
+
+// RegisterGauge exposes fn's current value under the given name (labels may
+// be baked into the name). Re-registering replaces the callback.
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// WriteMetrics renders every metric in Prometheus text format, sorted by
+// key for deterministic output.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	r.mu.RLock()
+	counterKeys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		counterKeys = append(counterKeys, k)
+	}
+	histKeys := make([]string, 0, len(r.histograms))
+	for k := range r.histograms {
+		histKeys = append(histKeys, k)
+	}
+	gaugeKeys := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	r.mu.RUnlock()
+	sort.Strings(counterKeys)
+	sort.Strings(histKeys)
+	sort.Strings(gaugeKeys)
+
+	for _, k := range counterKeys {
+		r.mu.RLock()
+		c := r.counters[k]
+		r.mu.RUnlock()
+		fmt.Fprintf(w, "%s %d\n", k, c.Value())
+	}
+	for _, k := range histKeys {
+		r.mu.RLock()
+		h := r.histograms[k]
+		r.mu.RUnlock()
+		name, labels := splitKey(k)
+		cumulative := int64(0)
+		for i, bound := range h.bounds {
+			cumulative += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, fmt.Sprintf(`le="%g"`, bound)), cumulative)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), h.Count())
+		fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	}
+	for _, k := range gaugeKeys {
+		r.mu.RLock()
+		fn := r.gauges[k]
+		r.mu.RUnlock()
+		fmt.Fprintf(w, "%s %g\n", k, fn())
+	}
+}
+
+// splitKey separates "name{labels}" into name and "{labels}" ("" when bare).
+func splitKey(k string) (name, labels string) {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i], k[i:]
+	}
+	return k, ""
+}
+
+// mergeLabels injects extra into a "{...}" label block (or creates one).
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// Handler serves the registry in Prometheus text format (GET /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/store"
+)
+
+// benchFixture prepares a server whose responses collection holds noise
+// sessions for foreignDocs other tests plus a handful of real sessions for
+// srv-test. The serving path must not scale with foreignDocs: session
+// lookups go through the test_id index and listing counts via CountEq.
+func benchFixture(b *testing.B, foreignDocs int) *Server {
+	b.Helper()
+	srv, prep := prepTest(b)
+	responses := srv.db.Collection(aggregator.ResponsesCollection)
+	for i := 0; i < foreignDocs; i++ {
+		testID := fmt.Sprintf("other-%03d", i%100)
+		if _, err := responses.Insert(store.Document{
+			store.IDField: fmt.Sprintf("%s/w%d", testID, i),
+			"test_id":     testID,
+			"worker_id":   fmt.Sprintf("w%d", i),
+			"session":     "{}",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		up := sampleUpload(prep, fmt.Sprintf("real-%d", i), questionnaire.ChoiceLeft)
+		raw, _ := json.Marshal(up)
+		doc := store.Document{
+			store.IDField: "srv-test/" + up.WorkerID,
+			"test_id":     "srv-test",
+			"worker_id":   up.WorkerID,
+			"session":     string(raw),
+		}
+		if _, err := responses.Insert(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return srv
+}
+
+// BenchmarkListTests measures GET /api/tests with 10k foreign response
+// documents in the collection. Session counts come from CountEq on the
+// test_id index; compare -benchtime allocations against the scan floor by
+// dropping the index declaration in New.
+func BenchmarkListTests10kResponses(b *testing.B) {
+	srv := benchFixture(b, 10_000)
+	req := httptest.NewRequest(http.MethodGet, "/api/tests", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkConclude measures a fresh conclusion (session cache invalidated
+// every iteration, as a new upload would) with 10k foreign response
+// documents. The indexed FindEq keeps this proportional to srv-test's own
+// five sessions.
+func BenchmarkConclude10kResponses(b *testing.B) {
+	srv := benchFixture(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.cache.invalidateSessions("srv-test")
+		res, err := srv.concludeCached("srv-test", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Workers != 5 {
+			b.Fatalf("workers = %d", res.Workers)
+		}
+	}
+}
+
+// BenchmarkLoadInfoCached measures the repeated-loadInfo path: after the
+// first assembly the per-request cost is one cache read, not a params_json
+// re-parse.
+func BenchmarkLoadInfoCached(b *testing.B) {
+	srv := benchFixture(b, 0)
+	if _, err := srv.loadInfo("srv-test"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.loadInfo("srv-test"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadInfoUncached is the contrast case: every iteration
+// invalidates and re-assembles from storage.
+func BenchmarkLoadInfoUncached(b *testing.B) {
+	srv := benchFixture(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.cache.invalidateTest("srv-test")
+		if _, err := srv.loadInfo("srv-test"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

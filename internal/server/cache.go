@@ -1,0 +1,194 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/questionnaire"
+)
+
+// testEntry is the cached serving-side view of one prepared test: the full
+// Prepared (control answers included, for concluding), the redacted
+// extension-facing TestInfo, and the control-answer lookup used to score
+// uploaded sessions. Entries are immutable once cached; handlers only read
+// and serialize them.
+type testEntry struct {
+	prep     *aggregator.Prepared
+	info     *TestInfo
+	expected map[string]questionnaire.Choice
+}
+
+func newTestEntry(prep *aggregator.Prepared) *testEntry {
+	views := make([]PageView, len(prep.Pages))
+	expected := make(map[string]questionnaire.Choice)
+	for i, p := range prep.Pages {
+		views[i] = PageView{
+			ID:        p.ID,
+			TestID:    p.TestID,
+			LeftName:  p.LeftName,
+			RightName: p.RightName,
+			Kind:      p.Kind,
+		}
+		if p.Kind == aggregator.KindControl {
+			expected[p.ID] = p.Expected
+		}
+	}
+	return &testEntry{
+		prep: prep,
+		info: &TestInfo{
+			TestID:      prep.Test.TestID,
+			Description: prep.Test.TestDescription,
+			Questions:   prep.Test.Questions,
+			Pages:       views,
+		},
+		expected: expected,
+	}
+}
+
+// resultsKey caches concluded results per test and per default-battery mode
+// (only the deterministic default config is cached; custom configs bypass).
+type resultsKey struct {
+	testID  string
+	quality bool
+}
+
+// servingCache keeps the serving path off the parse-and-scan floor: test
+// metadata (params_json re-parse), decoded sessions, and concluded results
+// are all cached per test id and invalidated through store change hooks.
+//
+// A per-test generation counter closes the fill/invalidate race: a fill
+// computed from pre-invalidation state carries the generation it started
+// from and is discarded when an invalidation has happened in between.
+type servingCache struct {
+	mu       sync.RWMutex
+	gens     map[string]uint64
+	tests    map[string]*testEntry
+	sessions map[string][]SessionUpload
+	results  map[resultsKey]*Results
+
+	testHits, testMisses       atomic.Int64
+	sessionHits, sessionMisses atomic.Int64
+	resultHits, resultMisses   atomic.Int64
+}
+
+func newServingCache() *servingCache {
+	return &servingCache{
+		gens:     make(map[string]uint64),
+		tests:    make(map[string]*testEntry),
+		sessions: make(map[string][]SessionUpload),
+		results:  make(map[resultsKey]*Results),
+	}
+}
+
+// gen returns the current generation for a test id.
+func (c *servingCache) gen(testID string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gens[testID]
+}
+
+func (c *servingCache) test(testID string) (*testEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.tests[testID]
+	c.mu.RUnlock()
+	if ok {
+		c.testHits.Add(1)
+	} else {
+		c.testMisses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *servingCache) putTest(testID string, gen uint64, e *testEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[testID] != gen {
+		return
+	}
+	c.tests[testID] = e
+}
+
+func (c *servingCache) sessionsFor(testID string) ([]SessionUpload, bool) {
+	c.mu.RLock()
+	s, ok := c.sessions[testID]
+	c.mu.RUnlock()
+	if ok {
+		c.sessionHits.Add(1)
+	} else {
+		c.sessionMisses.Add(1)
+	}
+	return s, ok
+}
+
+func (c *servingCache) putSessions(testID string, gen uint64, s []SessionUpload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[testID] != gen {
+		return
+	}
+	c.sessions[testID] = s
+}
+
+func (c *servingCache) resultsFor(key resultsKey) (*Results, bool) {
+	c.mu.RLock()
+	r, ok := c.results[key]
+	c.mu.RUnlock()
+	if ok {
+		c.resultHits.Add(1)
+	} else {
+		c.resultMisses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *servingCache) putResults(key resultsKey, gen uint64, r *Results) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[key.testID] != gen {
+		return
+	}
+	c.results[key] = r
+}
+
+// invalidateTest drops everything derived from a test's stored documents.
+func (c *servingCache) invalidateTest(testID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[testID]++
+	delete(c.tests, testID)
+	c.dropDerived(testID)
+}
+
+// invalidateSessions drops session-derived state (decoded sessions and
+// concluded results) after a new session insert; the test metadata itself
+// stays cached.
+func (c *servingCache) invalidateSessions(testID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[testID]++
+	c.dropDerived(testID)
+}
+
+func (c *servingCache) dropDerived(testID string) {
+	delete(c.sessions, testID)
+	delete(c.results, resultsKey{testID, false})
+	delete(c.results, resultsKey{testID, true})
+}
+
+// invalidateAll resets the cache (used when a change event's test id cannot
+// be attributed).
+func (c *servingCache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id := range c.gens {
+		c.gens[id]++
+	}
+	// Entries for ids never seen under gens still need a bump marker.
+	for id := range c.tests {
+		c.gens[id]++
+	}
+	c.tests = make(map[string]*testEntry)
+	c.sessions = make(map[string][]SessionUpload)
+	c.results = make(map[resultsKey]*Results)
+}

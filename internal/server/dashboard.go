@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"kaleidoscope/internal/aggregator"
-	"kaleidoscope/internal/quality"
 	"kaleidoscope/internal/questionnaire"
 )
 
@@ -20,21 +19,10 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	testID := r.PathValue("id")
 	info, err := s.loadInfo(testID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		writeLoadError(w, err)
 		return
 	}
-	var qc *quality.Config
-	if r.URL.Query().Get("quality") == "1" {
-		realPages := 0
-		for _, p := range info.Pages {
-			if p.Kind == aggregator.KindReal {
-				realPages++
-			}
-		}
-		cfg := quality.DefaultConfig(realPages * len(info.Questions))
-		qc = &cfg
-	}
-	res, err := s.Conclude(testID, qc)
+	res, err := s.concludeCached(testID, r.URL.Query().Get("quality") == "1")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "concluding: %v", err)
 		return

@@ -9,6 +9,13 @@
 //     (POST /api/tests/{id}/sessions),
 //   - conclude the final results, raw and quality-controlled
 //     (GET /api/tests/{id}/results).
+//
+// The serving path is index-backed and cached: session lookups go through a
+// secondary index on test_id, test metadata is parsed once and cached until
+// the underlying documents change, and concluded results are cached until a
+// new session arrives. Control-question answers never leave the server —
+// extension-facing payloads carry PageView, which omits the expected
+// answer, and uploaded control outcomes are re-scored against storage.
 package server
 
 import (
@@ -17,29 +24,52 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/quality"
 	"kaleidoscope/internal/questionnaire"
 	"kaleidoscope/internal/store"
 )
+
+// maxSessionBytes caps a session-upload body; larger uploads get 413.
+const maxSessionBytes = 1 << 20
 
 // Server is the core server. It is an http.Handler.
 type Server struct {
 	db    *store.DB
 	blobs *store.BlobStore
 	mux   *http.ServeMux
+	cache *servingCache
+	reg   *obs.Registry // nil when observability is off
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// New wires a server over prepared storage.
-func New(db *store.DB, blobs *store.BlobStore) (*Server, error) {
+// Option configures a Server.
+type Option func(*Server)
+
+// WithObservability exports the server's serving-path metrics (cache hit
+// ratios, store index-vs-scan counts) into reg and mounts GET /metrics.
+// Request counters and latency histograms are produced by obs.Middleware,
+// which shares the same registry.
+func WithObservability(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// New wires a server over prepared storage. It declares the secondary
+// indexes the serving path relies on and subscribes to store changes for
+// cache invalidation.
+func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) {
 	if db == nil || blobs == nil {
 		return nil, errors.New("server: nil storage")
 	}
-	s := &Server{db: db, blobs: blobs, mux: http.NewServeMux()}
+	s := &Server{db: db, blobs: blobs, mux: http.NewServeMux(), cache: newServingCache()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /api/tests", s.handleListTests)
 	s.mux.HandleFunc("GET /api/tests/{id}", s.handleTestInfo)
 	s.mux.HandleFunc("GET /api/tests/{id}/task", s.handleTask)
@@ -52,12 +82,107 @@ func New(db *store.DB, blobs *store.BlobStore) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+
+	// The serving path's lookups are all by test id.
+	responses := db.Collection(aggregator.ResponsesCollection)
+	responses.EnsureIndex("test_id")
+	db.Collection(aggregator.PagesCollection).EnsureIndex("test_id")
+
+	// Cache invalidation rides the store's change feed. Tests and pages
+	// invalidate the test's metadata (and everything derived from it); a
+	// new session only invalidates session-derived state.
+	db.Collection(aggregator.TestsCollection).OnChange(func(_, id string) {
+		s.cache.invalidateTest(id)
+	})
+	db.Collection(aggregator.PagesCollection).OnChange(func(_, id string) {
+		s.invalidateByPrefixedID(id, s.cache.invalidateTest)
+	})
+	responses.OnChange(func(_, id string) {
+		s.invalidateByPrefixedID(id, s.cache.invalidateSessions)
+	})
+
+	if s.reg != nil {
+		s.mux.Handle("GET /metrics", obs.Handler(s.reg))
+		s.registerGauges()
+	}
 	return s, nil
 }
 
-// ServeHTTP dispatches to the API mux.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// invalidateByPrefixedID extracts the test id from a "testID/suffix"
+// document id; unattributable ids flush the whole cache rather than risk
+// staleness.
+func (s *Server) invalidateByPrefixedID(id string, invalidate func(string)) {
+	testID, _, ok := strings.Cut(id, "/")
+	if !ok {
+		s.cache.invalidateAll()
+		return
+	}
+	invalidate(testID)
+}
+
+// registerGauges exports cache and store read-path statistics.
+func (s *Server) registerGauges() {
+	reg, cache := s.reg, s.cache
+	for _, g := range []struct {
+		name         string
+		hits, misses *atomic.Int64
+	}{
+		{"tests", &cache.testHits, &cache.testMisses},
+		{"sessions", &cache.sessionHits, &cache.sessionMisses},
+		{"results", &cache.resultHits, &cache.resultMisses},
+	} {
+		hits, misses := g.hits, g.misses
+		reg.RegisterGauge(fmt.Sprintf("kscope_cache_hits{cache=%q}", g.name), func() float64 {
+			return float64(hits.Load())
+		})
+		reg.RegisterGauge(fmt.Sprintf("kscope_cache_misses{cache=%q}", g.name), func() float64 {
+			return float64(misses.Load())
+		})
+		reg.RegisterGauge(fmt.Sprintf("kscope_cache_hit_ratio{cache=%q}", g.name), func() float64 {
+			h, m := float64(hits.Load()), float64(misses.Load())
+			if h+m == 0 {
+				return 0
+			}
+			return h / (h + m)
+		})
+	}
+	for _, name := range []string{
+		aggregator.TestsCollection, aggregator.PagesCollection, aggregator.ResponsesCollection,
+	} {
+		coll := s.db.Collection(name)
+		reg.RegisterGauge(fmt.Sprintf("kscope_store_index_hits{collection=%q}", name), func() float64 {
+			return float64(coll.Stats().IndexHits)
+		})
+		reg.RegisterGauge(fmt.Sprintf("kscope_store_scans{collection=%q}", name), func() float64 {
+			return float64(coll.Stats().Scans)
+		})
+	}
+}
+
+// RouteLabel maps a request onto the low-cardinality route label used for
+// request metrics (obs.Middleware's RouteFunc for this server's API).
+func RouteLabel(r *http.Request) string {
+	m, p := r.Method, r.URL.Path
+	switch {
+	case p == "/api/tests" || p == "/api/params/build" || p == "/builder" ||
+		p == "/healthz" || p == "/metrics":
+		return m + " " + p
+	case strings.HasPrefix(p, "/dashboard/"):
+		return m + " /dashboard/{id}"
+	case strings.HasPrefix(p, "/api/tests/"):
+		rest := p[len("/api/tests/"):]
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			return m + " /api/tests/{id}"
+		}
+		switch tail := rest[i:]; {
+		case tail == "/task", tail == "/sessions", tail == "/results":
+			return m + " /api/tests/{id}" + tail
+		case strings.HasPrefix(tail, "/pages/"):
+			return m + " /api/tests/{id}/pages"
+		}
+	}
+	return m + " other"
 }
 
 // apiError is the uniform error body.
@@ -77,26 +202,64 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// TestInfo is the extension-facing description of a test.
-type TestInfo struct {
-	TestID      string                      `json:"test_id"`
-	Description string                      `json:"description"`
-	Questions   []string                    `json:"questions"`
-	Pages       []aggregator.IntegratedPage `json:"pages"`
+// writeLoadError distinguishes "no such test" (404) from storage corruption
+// or I/O trouble (500) when loading test metadata fails.
+func writeLoadError(w http.ResponseWriter, err error) {
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "loading test: %v", err)
 }
 
-// loadInfo assembles TestInfo from storage.
-func (s *Server) loadInfo(testID string) (*TestInfo, error) {
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// PageView is the extension-facing description of one integrated page. It
+// deliberately omits the aggregator's Expected field: control answers are
+// the quality battery's ground truth and must never reach a participant.
+type PageView struct {
+	ID        string              `json:"id"`
+	TestID    string              `json:"test_id"`
+	LeftName  string              `json:"left"`
+	RightName string              `json:"right"`
+	Kind      aggregator.PageKind `json:"kind"`
+}
+
+// TestInfo is the extension-facing description of a test.
+type TestInfo struct {
+	TestID      string     `json:"test_id"`
+	Description string     `json:"description"`
+	Questions   []string   `json:"questions"`
+	Pages       []PageView `json:"pages"`
+}
+
+// load returns the cached serving entry for a test, assembling (and
+// caching) it from storage on a miss. Concurrent misses may both assemble;
+// the generation check in putTest keeps a racing invalidation authoritative.
+func (s *Server) load(testID string) (*testEntry, error) {
+	if entry, ok := s.cache.test(testID); ok {
+		return entry, nil
+	}
+	gen := s.cache.gen(testID)
 	prep, err := aggregator.LoadPrepared(s.db, testID)
 	if err != nil {
 		return nil, err
 	}
-	return &TestInfo{
-		TestID:      prep.Test.TestID,
-		Description: prep.Test.TestDescription,
-		Questions:   prep.Test.Questions,
-		Pages:       prep.Pages,
-	}, nil
+	entry := newTestEntry(prep)
+	s.cache.putTest(testID, gen, entry)
+	return entry, nil
+}
+
+// loadInfo assembles the extension-facing TestInfo.
+func (s *Server) loadInfo(testID string) (*TestInfo, error) {
+	entry, err := s.load(testID)
+	if err != nil {
+		return nil, err
+	}
+	return entry.info, nil
 }
 
 // TestSummary is one row of the test listing.
@@ -110,19 +273,22 @@ type TestSummary struct {
 
 func (s *Server) handleListTests(w http.ResponseWriter, _ *http.Request) {
 	docs := s.db.Collection(aggregator.TestsCollection).Find(nil)
+	responses := s.db.Collection(aggregator.ResponsesCollection)
 	out := make([]TestSummary, 0, len(docs))
 	for _, doc := range docs {
 		summary := TestSummary{
 			TestID:      doc.ID(),
 			Description: docStringField(doc, "description"),
 		}
-		if n, ok := doc["participants"].(float64); ok {
-			summary.Participants = int(n)
+		// Document.Int tolerates both live (typed) and WAL-replayed
+		// (float64) numeric representations.
+		if n, ok := doc.Int("participants"); ok {
+			summary.Participants = n
 		}
-		if n, ok := doc["page_count"].(float64); ok {
-			summary.PageCount = int(n)
+		if n, ok := doc.Int("page_count"); ok {
+			summary.PageCount = n
 		}
-		summary.Sessions = len(s.db.Collection(aggregator.ResponsesCollection).FindEq("test_id", doc.ID()))
+		summary.Sessions = responses.CountEq("test_id", doc.ID())
 		out = append(out, summary)
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -136,7 +302,7 @@ func docStringField(d store.Document, key string) string {
 func (s *Server) handleTestInfo(w http.ResponseWriter, r *http.Request) {
 	info, err := s.loadInfo(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		writeLoadError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -154,18 +320,18 @@ type Task struct {
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	testID := r.PathValue("id")
-	prep, err := aggregator.LoadPrepared(s.db, testID)
+	entry, err := s.load(testID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		writeLoadError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, Task{
 		TestID:          testID,
 		Title:           "Kaleidoscope web comparison test " + testID,
-		Instructions:    prep.Test.TestDescription,
-		RequiredWorkers: prep.Test.ParticipantNum,
+		Instructions:    entry.prep.Test.TestDescription,
+		RequiredWorkers: entry.prep.Test.ParticipantNum,
 		PaymentUSD:      0.10,
-		PageCount:       len(prep.Pages),
+		PageCount:       len(entry.prep.Pages),
 	})
 }
 
@@ -198,6 +364,9 @@ func (s *Server) handlePageFile(w http.ResponseWriter, r *http.Request) {
 }
 
 // SessionUpload is what the extension posts when a participant finishes.
+// Controls carry only the participant's answers; the Expected field is
+// filled in server-side from storage (any client-supplied value is
+// discarded — participants cannot vouch for their own control answers).
 type SessionUpload struct {
 	TestID       string                   `json:"test_id"`
 	WorkerID     string                   `json:"worker_id"`
@@ -232,22 +401,40 @@ func (u *SessionUpload) Validate(info *TestInfo) error {
 
 func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	testID := r.PathValue("id")
-	info, err := s.loadInfo(testID)
+	entry, err := s.load(testID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "test not found: %v", err)
+		writeLoadError(w, err)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSessionBytes)
 	var upload SessionUpload
 	if err := json.NewDecoder(r.Body).Decode(&upload); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"session exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding session: %v", err)
 		return
 	}
 	if upload.TestID == "" {
 		upload.TestID = testID
 	}
-	if err := upload.Validate(info); err != nil {
+	if err := upload.Validate(entry.info); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid session: %v", err)
 		return
+	}
+	// Score controls against storage. Clients never saw the expected
+	// answers, and a forged Expected must not survive.
+	for i := range upload.Controls {
+		exp, ok := entry.expected[upload.Controls[i].PageID]
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				"control outcome references non-control page %q", upload.Controls[i].PageID)
+			return
+		}
+		upload.Controls[i].Expected = exp
 	}
 	raw, err := json.Marshal(upload)
 	if err != nil {
@@ -260,7 +447,12 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 		"worker_id":   upload.WorkerID,
 		"session":     string(raw),
 	}
-	if _, err := s.db.Collection(aggregator.ResponsesCollection).Insert(doc); err != nil {
+	if _, err := s.db.Collection(aggregator.ResponsesCollection).InsertUnique(doc); err != nil {
+		if errors.Is(err, store.ErrDuplicateID) {
+			writeError(w, http.StatusConflict,
+				"worker %q already uploaded a session for test %q", upload.WorkerID, testID)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "storing session: %v", err)
 		return
 	}
@@ -291,8 +483,15 @@ type Results struct {
 	Pages       []PageResult `json:"pages"`
 }
 
-// Sessions loads every stored session of a test.
+// Sessions loads every stored session of a test through the serving cache;
+// decoded sessions stay cached until a new upload for the test arrives.
+// The returned slice is the caller's; the session structs' nested slices
+// are shared with the cache and must be treated as read-only.
 func (s *Server) Sessions(testID string) ([]SessionUpload, error) {
+	if cached, ok := s.cache.sessionsFor(testID); ok {
+		return append([]SessionUpload(nil), cached...), nil
+	}
+	gen := s.cache.gen(testID)
 	docs := s.db.Collection(aggregator.ResponsesCollection).FindEq("test_id", testID)
 	out := make([]SessionUpload, 0, len(docs))
 	for _, doc := range docs {
@@ -303,13 +502,21 @@ func (s *Server) Sessions(testID string) ([]SessionUpload, error) {
 		}
 		out = append(out, upload)
 	}
-	return out, nil
+	s.cache.putSessions(testID, gen, out)
+	return append([]SessionUpload(nil), out...), nil
+}
+
+// defaultQC derives the paper's default battery for a test: every real
+// page×question answered, engagement bounds, zero control failures.
+func defaultQC(entry *testEntry) *quality.Config {
+	cfg := quality.DefaultConfig(len(entry.prep.RealPages()) * len(entry.info.Questions))
+	return &cfg
 }
 
 // Conclude computes results for a test, optionally applying quality
 // control with the given config (nil = raw results).
 func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
-	info, err := s.loadInfo(testID)
+	entry, err := s.load(testID)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +560,7 @@ func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
 			t.Add(r.Choice)
 		}
 	}
-	for _, p := range info.Pages {
+	for _, p := range entry.info.Pages {
 		pr := PageResult{PageID: p.ID, LeftName: p.LeftName, RightName: p.RightName, Kind: p.Kind}
 		if t, ok := tallies[p.ID]; ok {
 			pr.Tally = *t
@@ -363,27 +570,41 @@ func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
 	return res, nil
 }
 
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	testID := r.PathValue("id")
+// concludeCached serves the HTTP results surface: raw and default-battery
+// conclusions are cached per test until a new session arrives. Custom
+// quality configs (only reachable through the Conclude API) bypass the
+// cache, which is why the key is just (test, quality-on).
+func (s *Server) concludeCached(testID string, useQC bool) (*Results, error) {
+	key := resultsKey{testID: testID, quality: useQC}
+	if res, ok := s.cache.resultsFor(key); ok {
+		return res, nil
+	}
+	gen := s.cache.gen(testID)
+	entry, err := s.load(testID)
+	if err != nil {
+		return nil, err
+	}
 	var qc *quality.Config
-	if r.URL.Query().Get("quality") == "1" {
-		info, err := s.loadInfo(testID)
-		if err != nil {
-			writeError(w, http.StatusNotFound, "test not found: %v", err)
-			return
-		}
-		realPages := 0
-		for _, p := range info.Pages {
-			if p.Kind == aggregator.KindReal {
-				realPages++
-			}
-		}
-		cfg := quality.DefaultConfig(realPages * len(info.Questions))
-		qc = &cfg
+	if useQC {
+		qc = defaultQC(entry)
 	}
 	res, err := s.Conclude(testID, qc)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "concluding: %v", err)
+		return nil, err
+	}
+	s.cache.putResults(key, gen, res)
+	return res, nil
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	res, err := s.concludeCached(r.PathValue("id"), r.URL.Query().Get("quality") == "1")
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "test not found: %v", err)
+			return
+		}
+		// Corrupt sessions or stored params are server-side faults.
+		writeError(w, http.StatusInternalServerError, "concluding: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

@@ -19,7 +19,7 @@ import (
 
 // prepTest prepares a 2-version test in fresh storage and returns the
 // server plus prepared metadata.
-func prepTest(t *testing.T) (*Server, *aggregator.Prepared) {
+func prepTest(t testing.TB) (*Server, *aggregator.Prepared) {
 	t.Helper()
 	db := store.OpenMemory()
 	blobs := store.NewBlobStore()

@@ -16,18 +16,58 @@ func BenchmarkInsert(b *testing.B) {
 	}
 }
 
-func BenchmarkFindEq(b *testing.B) {
+// benchCollection fills a collection with 10k documents spread over 1000
+// test_id buckets (10 matches per lookup), optionally indexed.
+func benchCollection(b *testing.B, indexed bool) *Collection {
+	b.Helper()
 	db := OpenMemory()
 	c := db.Collection("bench")
-	for i := 0; i < 1000; i++ {
-		if _, err := c.Insert(Document{"test_id": "t" + strconv.Itoa(i%10)}); err != nil {
+	if indexed {
+		c.EnsureIndex("test_id")
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := c.Insert(Document{"test_id": "t" + strconv.Itoa(i%1000)}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	return c
+}
+
+// BenchmarkFindEq is the scan floor: every lookup visits all 10k documents
+// to find its 10 matches.
+func BenchmarkFindEq(b *testing.B) {
+	c := benchCollection(b, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if len(c.FindEq("test_id", "t3")) != 100 {
+		if len(c.FindEq("test_id", "t3")) != 10 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+// BenchmarkFindEqIndexed is the same lookup against the same 10k-document
+// collection with test_id indexed: cost is proportional to the 10 matches,
+// not the collection.
+func BenchmarkFindEqIndexed(b *testing.B) {
+	c := benchCollection(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.FindEq("test_id", "t3")) != 10 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+// BenchmarkCountEqIndexed counts without copying documents: O(1) regardless
+// of match count or collection size.
+func BenchmarkCountEqIndexed(b *testing.B) {
+	c := benchCollection(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.CountEq("test_id", "t3") != 10 {
 			b.Fatal("bad count")
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Document is one schemaless record. Values must be JSON-encodable.
@@ -57,8 +58,9 @@ func (d Document) Clone() Document {
 
 // Common errors.
 var (
-	ErrNotFound = errors.New("store: document not found")
-	ErrClosed   = errors.New("store: database closed")
+	ErrNotFound    = errors.New("store: document not found")
+	ErrClosed      = errors.New("store: database closed")
+	ErrDuplicateID = errors.New("store: duplicate id")
 )
 
 // DB is a collection-oriented document database. The zero value is not
@@ -202,11 +204,16 @@ func parseSeqID(id string) (int64, bool) {
 
 // Collection is a named set of documents.
 type Collection struct {
-	mu   sync.RWMutex
-	name string
-	db   *DB
-	docs map[string]Document
-	seq  int64
+	mu       sync.RWMutex
+	name     string
+	db       *DB
+	docs     map[string]Document
+	seq      int64
+	indexes  map[string]*fieldIndex
+	onChange []func(op, id string)
+
+	indexHits atomic.Int64
+	scans     atomic.Int64
 }
 
 // appendWAL writes one record to the collection's log when the database is
@@ -233,20 +240,47 @@ func (c *Collection) appendWAL(rec walRecord) error {
 // Insert stores a new document and returns its id. When the document lacks
 // an _id one is generated; inserting a document whose _id already exists
 // overwrites it (upsert), matching the store's last-write-wins semantics.
+// Numeric values are normalized to float64 on the way in, so a live document
+// always equals its WAL-replayed form.
 func (c *Collection) Insert(doc Document) (string, error) {
+	return c.insert(doc, false)
+}
+
+// InsertUnique is Insert without the upsert: when a document with the same
+// _id already exists it fails with ErrDuplicateID and changes nothing. The
+// existence check and the insert happen under one lock, so concurrent
+// duplicate inserts cannot both succeed.
+func (c *Collection) InsertUnique(doc Document) (string, error) {
+	return c.insert(doc, true)
+}
+
+func (c *Collection) insert(doc Document, unique bool) (string, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cp := doc.Clone()
+	normalizeDoc(cp)
 	id := cp.ID()
 	if id == "" {
 		c.seq++
 		id = "doc-" + strconv.FormatInt(c.seq, 10)
 		cp[IDField] = id
 	}
+	old, exists := c.docs[id]
+	if exists && unique {
+		c.mu.Unlock()
+		return "", fmt.Errorf("%w: %s/%s", ErrDuplicateID, c.name, id)
+	}
 	if err := c.appendWAL(walRecord{Op: "put", ID: id, Doc: cp}); err != nil {
+		c.mu.Unlock()
 		return "", err
 	}
+	if exists {
+		c.removeFromIndexes(id, old)
+	}
 	c.docs[id] = cp
+	c.addToIndexes(id, cp)
+	fns := c.onChange
+	c.mu.Unlock()
+	c.notify(fns, OpPut, id)
 	return id, nil
 }
 
@@ -262,8 +296,11 @@ func (c *Collection) Get(id string) (Document, error) {
 }
 
 // Find returns copies of all documents matching the predicate, sorted by
-// id for determinism. A nil predicate matches everything.
+// id for determinism. A nil predicate matches everything. Find always scans
+// the whole collection; equality lookups should use FindEq, which consults
+// the declared indexes.
 func (c *Collection) Find(pred func(Document) bool) []Document {
+	c.scans.Add(1)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []Document
@@ -276,13 +313,55 @@ func (c *Collection) Find(pred func(Document) bool) []Document {
 	return out
 }
 
-// FindEq returns documents whose field equals value. Numeric values are
-// compared after JSON normalization (all numbers are float64).
+// FindEq returns documents whose field equals value, sorted by id. When the
+// field is indexed (EnsureIndex) this is a map lookup plus a copy of the
+// matching documents; otherwise it scans. Numeric values are compared after
+// JSON normalization (all numbers are float64).
 func (c *Collection) FindEq(field string, value any) []Document {
+	c.mu.RLock()
+	if ix, ok := c.indexes[field]; ok {
+		if key, comparable := indexKey(value); comparable {
+			ids := ix.ids[key]
+			out := make([]Document, 0, len(ids))
+			for id := range ids {
+				out = append(out, c.docs[id].Clone())
+			}
+			c.mu.RUnlock()
+			c.indexHits.Add(1)
+			sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+			return out
+		}
+	}
+	c.mu.RUnlock()
 	norm := normalizeValue(value)
 	return c.Find(func(d Document) bool {
 		return normalizeValue(d[field]) == norm
 	})
+}
+
+// CountEq reports how many documents have field equal to value. On an
+// indexed field this is O(1) — no documents are copied — which is what the
+// serving path's listing counters use.
+func (c *Collection) CountEq(field string, value any) int {
+	c.mu.RLock()
+	if ix, ok := c.indexes[field]; ok {
+		if key, comparable := indexKey(value); comparable {
+			n := len(ix.ids[key])
+			c.mu.RUnlock()
+			c.indexHits.Add(1)
+			return n
+		}
+	}
+	norm := normalizeValue(value)
+	n := 0
+	for _, doc := range c.docs {
+		if normalizeValue(doc[field]) == norm {
+			n++
+		}
+	}
+	c.mu.RUnlock()
+	c.scans.Add(1)
+	return n
 }
 
 // normalizeValue maps numeric types onto float64 so values survive the
@@ -291,12 +370,31 @@ func normalizeValue(v any) any {
 	switch n := v.(type) {
 	case int:
 		return float64(n)
+	case int8:
+		return float64(n)
+	case int16:
+		return float64(n)
 	case int32:
 		return float64(n)
 	case int64:
 		return float64(n)
+	case uint:
+		return float64(n)
+	case uint8:
+		return float64(n)
+	case uint16:
+		return float64(n)
+	case uint32:
+		return float64(n)
+	case uint64:
+		return float64(n)
 	case float32:
 		return float64(n)
+	case json.Number:
+		if f, err := n.Float64(); err == nil {
+			return f
+		}
+		return v
 	default:
 		return v
 	}
@@ -304,36 +402,51 @@ func normalizeValue(v any) any {
 
 // Update applies mutate to the document with the given id and persists the
 // result. The callback receives a copy; returning nil aborts with no change.
+// Like Insert, the stored result is numerically normalized.
 func (c *Collection) Update(id string, mutate func(Document) Document) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	doc, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
 	}
 	updated := mutate(doc.Clone())
 	if updated == nil {
+		c.mu.Unlock()
 		return nil
 	}
 	updated[IDField] = id
+	normalizeDoc(updated)
 	if err := c.appendWAL(walRecord{Op: "put", ID: id, Doc: updated}); err != nil {
+		c.mu.Unlock()
 		return err
 	}
+	c.removeFromIndexes(id, doc)
 	c.docs[id] = updated
+	c.addToIndexes(id, updated)
+	fns := c.onChange
+	c.mu.Unlock()
+	c.notify(fns, OpPut, id)
 	return nil
 }
 
 // Delete removes the document with the given id (no error if absent).
 func (c *Collection) Delete(id string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.docs[id]; !ok {
+	doc, ok := c.docs[id]
+	if !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	if err := c.appendWAL(walRecord{Op: "del", ID: id}); err != nil {
+		c.mu.Unlock()
 		return err
 	}
+	c.removeFromIndexes(id, doc)
 	delete(c.docs, id)
+	fns := c.onChange
+	c.mu.Unlock()
+	c.notify(fns, OpDelete, id)
 	return nil
 }
 

@@ -1,0 +1,220 @@
+package store
+
+import "encoding/json"
+
+// This file implements the collection-level serving-path machinery: secondary
+// indexes (FindEq/CountEq on a declared field become map lookups instead of
+// O(docs) scans), numeric value normalization (so live in-memory documents
+// and WAL-replayed documents agree), and read-path statistics consumed by the
+// observability layer.
+
+// fieldIndex is one secondary index: normalized field value -> id set.
+type fieldIndex struct {
+	field string
+	ids   map[any]map[string]struct{}
+}
+
+// indexKey normalizes v into a comparable map key. Values that are not
+// comparable after normalization (maps, slices) are not indexable and report
+// ok=false; lookups on them fall back to a scan.
+func indexKey(v any) (any, bool) {
+	switch n := normalizeValue(v).(type) {
+	case nil, string, float64, bool:
+		return n, true
+	default:
+		return nil, false
+	}
+}
+
+func (ix *fieldIndex) add(id string, doc Document) {
+	key, ok := indexKey(doc[ix.field])
+	if !ok {
+		return
+	}
+	set, ok := ix.ids[key]
+	if !ok {
+		set = make(map[string]struct{})
+		ix.ids[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (ix *fieldIndex) remove(id string, doc Document) {
+	key, ok := indexKey(doc[ix.field])
+	if !ok {
+		return
+	}
+	set, ok := ix.ids[key]
+	if !ok {
+		return
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		delete(ix.ids, key)
+	}
+}
+
+// EnsureIndex declares a secondary index on field, building it from the
+// current documents (which covers WAL-replayed collections: open the
+// database, then declare the indexes). Declaring the same index twice is a
+// no-op. Once declared, the index is maintained on every Insert, Update,
+// and Delete.
+func (c *Collection) EnsureIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.indexes == nil {
+		c.indexes = make(map[string]*fieldIndex)
+	}
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	ix := &fieldIndex{field: field, ids: make(map[any]map[string]struct{})}
+	for id, doc := range c.docs {
+		ix.add(id, doc)
+	}
+	c.indexes[field] = ix
+}
+
+// Indexes returns the indexed field names (unordered).
+func (c *Collection) Indexes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		out = append(out, f)
+	}
+	return out
+}
+
+// addToIndexes/removeFromIndexes maintain every declared index; callers hold
+// the collection lock.
+func (c *Collection) addToIndexes(id string, doc Document) {
+	for _, ix := range c.indexes {
+		ix.add(id, doc)
+	}
+}
+
+func (c *Collection) removeFromIndexes(id string, doc Document) {
+	for _, ix := range c.indexes {
+		ix.remove(id, doc)
+	}
+}
+
+// CollectionStats is a snapshot of a collection's read-path behaviour.
+type CollectionStats struct {
+	// Docs is the current document count.
+	Docs int
+	// Indexes is the number of declared secondary indexes.
+	Indexes int
+	// IndexHits counts FindEq/CountEq calls served by an index lookup.
+	IndexHits int64
+	// Scans counts full-collection scans (Find, and FindEq/CountEq on
+	// unindexed or unindexable values).
+	Scans int64
+}
+
+// Stats returns the collection's read-path statistics.
+func (c *Collection) Stats() CollectionStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CollectionStats{
+		Docs:      len(c.docs),
+		Indexes:   len(c.indexes),
+		IndexHits: c.indexHits.Load(),
+		Scans:     c.scans.Load(),
+	}
+}
+
+// Change operations reported to OnChange subscribers.
+const (
+	OpPut    = "put"
+	OpDelete = "del"
+)
+
+// OnChange subscribes fn to this collection's mutations. fn runs after the
+// mutation has committed, outside the collection lock (so it may call back
+// into the collection), on the mutating goroutine. WAL replay during Open
+// predates any subscription and is not reported.
+func (c *Collection) OnChange(fn func(op, id string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onChange = append(c.onChange, fn)
+}
+
+// notify invokes subscribers; callers must NOT hold the collection lock.
+func (c *Collection) notify(fns []func(op, id string), op, id string) {
+	for _, fn := range fns {
+		fn(op, id)
+	}
+}
+
+// Int reads a numeric field as an int, tolerating every representation a
+// document can pick up along its lifecycle (typed ints at insert time,
+// float64 after a JSON round-trip or WAL replay, json.Number from custom
+// decoders). The second return is false when the field is absent or not a
+// number.
+func (d Document) Int(key string) (int, bool) {
+	switch n := d[key].(type) {
+	case float64:
+		return int(n), true
+	case float32:
+		return int(n), true
+	case int:
+		return n, true
+	case int8:
+		return int(n), true
+	case int16:
+		return int(n), true
+	case int32:
+		return int(n), true
+	case int64:
+		return int(n), true
+	case uint:
+		return int(n), true
+	case uint8:
+		return int(n), true
+	case uint16:
+		return int(n), true
+	case uint32:
+		return int(n), true
+	case uint64:
+		return int(n), true
+	case json.Number:
+		f, err := n.Float64()
+		if err != nil {
+			return 0, false
+		}
+		return int(f), true
+	default:
+		return 0, false
+	}
+}
+
+// normalizeDoc rewrites every numeric value in the document (recursively)
+// onto float64 — the representation JSON decoding produces — so a live
+// in-memory document is indistinguishable from its WAL-replayed twin.
+func normalizeDoc(d Document) {
+	for k, v := range d {
+		d[k] = normalizeAny(v)
+	}
+}
+
+func normalizeAny(v any) any {
+	switch n := v.(type) {
+	case map[string]any:
+		for k, e := range n {
+			n[k] = normalizeAny(e)
+		}
+		return n
+	case Document:
+		normalizeDoc(n)
+		return n
+	case []any:
+		for i, e := range n {
+			n[i] = normalizeAny(e)
+		}
+		return n
+	default:
+		return normalizeValue(v)
+	}
+}
