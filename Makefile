@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check vet test race bench
+.PHONY: build check vet test race bench chaos
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,11 @@ check: vet race
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Fault-injection suite: crash-recovery under injected filesystem faults,
+# chaos-transport end-to-end flows, and graceful-drain shutdown. Run
+# repeatedly — these tests mix randomized fault schedules with fixed
+# seeds, and flakes here mean a real durability bug.
+chaos:
+	$(GO) test -count=3 -run 'Chaos|Crash|Fault|Torn|Quarantin|Recover|ENOSPC|Drain|Retr|Compact|SyncPolic' \
+		./internal/store/ ./internal/netsim/ ./internal/extension/ ./cmd/kscope-server/

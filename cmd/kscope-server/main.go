@@ -11,16 +11,25 @@
 // Every request is logged as one structured line (request id, route,
 // status, latency) on stderr.
 //
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to -drain, then flushes and closes the store —
+// an acknowledged session upload is never dropped by a restart.
+//
 // Prepare storage first with: kscope prepare -params ... -sites ... -store DIR
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"kaleidoscope/internal/obs"
@@ -40,6 +49,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8780", "listen address")
 	storeDir := fs.String("store", "", "storage directory prepared by kscope (required)")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	drain := fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,14 +57,48 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Runs after the drain: flushes the WAL and closes the store.
 	defer cleanup()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpServer := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("kscope-server listening on http://%s (store: %s)\n", *addr, *storeDir)
-	return httpServer.ListenAndServe()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("kscope-server listening on http://%s (store: %s)\n", ln.Addr(), *storeDir)
+	return serve(ctx, httpServer, ln, *drain)
+}
+
+// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts down gracefully: the listener closes, in-flight
+// requests get up to drain to complete, and only then does serve return —
+// so the deferred store cleanup always sees a quiesced server.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("kscope-server: shutting down, draining in-flight requests (max %s)\n", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain deadline exceeded: cut the stragglers loose.
+		srv.Close()
+		<-errCh
+		return fmt.Errorf("drain incomplete after %s: %w", drain, err)
+	}
+	<-errCh // srv.Serve has returned http.ErrServerClosed
+	return nil
 }
 
 // buildHandler wires the core server (with metrics and request logging)

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/params"
@@ -19,7 +25,10 @@ func TestBuildHandlerValidation(t *testing.T) {
 	}
 }
 
-func TestBuildServerServesPreparedStore(t *testing.T) {
+// prepareStore builds a storage directory holding one prepared test
+// ("served") and returns its path.
+func prepareStore(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
 	db, err := store.Open(filepath.Join(dir, "db"))
 	if err != nil {
@@ -49,7 +58,11 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Close()
+	return dir
+}
 
+func TestBuildServerServesPreparedStore(t *testing.T) {
+	dir := prepareStore(t)
 	srv, cleanup, err := buildHandler(dir, true)
 	if err != nil {
 		t.Fatalf("buildHandler: %v", err)
@@ -86,9 +99,110 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 		`kscope_http_requests_total{route="GET /api/tests/{id}",status="200"} 1`,
 		"kscope_cache_hit_ratio",
 		"kscope_store_index_hits",
+		"kscope_store_recovered_tails 0",
+		"kscope_store_quarantined_records 0",
+		"kscope_store_compactions 0",
+		"kscope_store_wal_appends",
+		"kscope_store_fsyncs",
+		"kscope_store_fsync_seconds_total",
+		"kscope_http_inflight_requests 1", // the /metrics request itself
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+// TestServeDrainsInFlightUploads is the shutdown acceptance: a SIGTERM
+// (modelled by ctx cancellation, which is exactly what
+// signal.NotifyContext produces) arriving while a session upload is in
+// flight must let the upload finish, and the acknowledged session must be
+// on disk after the store closes.
+func TestServeDrainsInFlightUploads(t *testing.T) {
+	dir := prepareStore(t)
+	handler, cleanup, err := buildHandler(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the upload in flight until shutdown has begun.
+	var startOnce sync.Once
+	uploadStarted := make(chan struct{})
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			startOnce.Do(func() { close(uploadStarted) })
+			<-release
+		}
+		handler.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: slow}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	uploadDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(
+			"http://"+ln.Addr().String()+"/api/tests/served/sessions",
+			"application/json",
+			strings.NewReader(`{"test_id":"served","worker_id":"drain-worker"}`),
+		)
+		if err != nil {
+			uploadDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusCreated {
+			uploadDone <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			return
+		}
+		uploadDone <- nil
+	}()
+
+	<-uploadStarted
+	cancel() // the SIGTERM
+	// Give Shutdown a moment to close the listener while the upload is
+	// still blocked — the drain window is what keeps it alive.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := <-uploadDone; err != nil {
+		t.Fatalf("in-flight upload dropped during shutdown: %v", err)
+	}
+	cleanup() // flush + close the store, as run()'s defer does
+
+	db, err := store.Open(filepath.Join(dir, "db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	got := db.Collection(aggregator.ResponsesCollection).CountEq("test_id", "served")
+	if got != 1 {
+		t.Errorf("sessions on disk after drain = %d, want 1", got)
+	}
+}
+
+// TestServeReturnsListenerError: a serve whose listener dies reports the
+// error instead of hanging.
+func TestServeReturnsListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NotFoundHandler()}
+	ln.Close() // Serve fails immediately
+	if err := serve(context.Background(), srv, ln, time.Second); err == nil {
+		t.Error("serve on a closed listener should fail")
 	}
 }

@@ -17,40 +17,117 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync/atomic"
+	"time"
 
+	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/server"
 )
 
-// Client is the extension's HTTP side. Idempotent GETs are retried a
-// small number of times on transport errors and 5xx responses, as a real
-// extension facing a flaky connection would.
+// Client is the extension's HTTP side. Idempotent GETs and the session
+// upload (idempotent by worker id) are retried with jittered exponential
+// backoff on transport errors and 5xx responses, as a real extension facing
+// a flaky participant connection must be.
 type Client struct {
 	baseURL string
 	httpc   *http.Client
 	// retries is the number of extra attempts after a retryable failure.
 	retries int
+	// backoff is the base delay before the first retry; it doubles per
+	// attempt (capped) with ±50% jitter.
+	backoff time.Duration
+	reg     *obs.Registry
+
+	retryAttempts atomic.Int64
 }
 
-// defaultRetries is the extra-attempt budget for idempotent requests.
-const defaultRetries = 2
+// Defaults for the retry and transport budget.
+const (
+	defaultRetries = 2
+	defaultTimeout = 30 * time.Second
+	defaultBackoff = 50 * time.Millisecond
+	maxBackoff     = 2 * time.Second
+)
+
+// MetricRetries is the obs counter for client retry attempts.
+const MetricRetries = "kscope_extension_retry_attempts_total"
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithRetries sets the extra-attempt budget for retryable requests.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the base retry delay (tests use ~1ms).
+func WithBackoff(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithMetrics exports retry attempts to the registry as MetricRetries.
+func WithMetrics(reg *obs.Registry) ClientOption {
+	return func(c *Client) { c.reg = reg }
+}
 
 // NewClient returns a client for a core server at baseURL (e.g.
-// "http://127.0.0.1:8080"). A nil httpc uses http.DefaultClient.
-func NewClient(baseURL string, httpc *http.Client) (*Client, error) {
+// "http://127.0.0.1:8080"). A nil httpc gets a client with a sane overall
+// timeout — never http.DefaultClient, which would wait forever on a dead
+// server.
+func NewClient(baseURL string, httpc *http.Client, opts ...ClientOption) (*Client, error) {
 	if baseURL == "" {
 		return nil, errors.New("extension: empty base URL")
 	}
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = &http.Client{Timeout: defaultTimeout}
 	}
-	return &Client{baseURL: baseURL, httpc: httpc, retries: defaultRetries}, nil
+	c := &Client{
+		baseURL: baseURL,
+		httpc:   httpc,
+		retries: defaultRetries,
+		backoff: defaultBackoff,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// RetryAttempts reports how many retries this client has performed.
+func (c *Client) RetryAttempts() int64 { return c.retryAttempts.Load() }
+
+// noteRetry records one retry attempt and sleeps the jittered backoff for
+// the given attempt number (1-based).
+func (c *Client) noteRetry(attempt int) {
+	c.retryAttempts.Add(1)
+	if c.reg != nil {
+		c.reg.Counter(MetricRetries).Inc()
+	}
+	d := c.backoff << (attempt - 1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	// ±50% jitter decorrelates a fleet of extensions retrying at once.
+	time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
 }
 
 // get issues a GET with retries and decodes errors uniformly.
 func (c *Client) get(path string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.noteRetry(attempt)
+		}
 		body, status, err := c.getOnce(path)
 		switch {
 		case err != nil:
@@ -105,24 +182,43 @@ func (c *Client) FetchPageFile(testID, pageID, file string) ([]byte, error) {
 	return c.get("/api/tests/" + testID + "/pages/" + pageID + "/" + file)
 }
 
-// UploadSession posts a finished session to the core server.
+// UploadSession posts a finished session to the core server, retrying
+// transport errors and 5xx responses with jittered backoff. The upload is
+// idempotent by worker id: a 409 means a previous attempt (perhaps one
+// whose response was lost on the wire) already stored this session, and is
+// treated as success — a participant's finished work is never lost to a
+// flaky connection.
 func (c *Client) UploadSession(testID string, session server.SessionUpload) error {
 	payload, err := json.Marshal(session)
 	if err != nil {
 		return fmt.Errorf("extension: encoding session: %w", err)
 	}
-	resp, err := c.httpc.Post(
-		c.baseURL+"/api/tests/"+testID+"/sessions",
-		"application/json",
-		bytes.NewReader(payload),
-	)
-	if err != nil {
-		return fmt.Errorf("extension: uploading session: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
+	url := c.baseURL + "/api/tests/" + testID + "/sessions"
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.noteRetry(attempt)
+		}
+		resp, err := c.httpc.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = fmt.Errorf("extension: uploading session: %w", err)
+			continue
+		}
 		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("extension: upload rejected: status %d: %s", resp.StatusCode, truncate(body, 200))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusCreated:
+			return nil
+		case resp.StatusCode == http.StatusConflict:
+			// Duplicate by worker id: already stored.
+			return nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("extension: upload failed: status %d: %s",
+				resp.StatusCode, truncate(body, 200))
+		default:
+			return fmt.Errorf("extension: upload rejected: status %d: %s",
+				resp.StatusCode, truncate(body, 200))
+		}
 	}
-	return nil
+	return lastErr
 }

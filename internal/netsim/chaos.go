@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig shapes an adversarial network for HTTP clients: the
+// extension-side counterpart of this package's load simulation. Instead of
+// modelling object fetch times, it injects the failures a crowdsourcing
+// participant's connection actually produces — dropped connections,
+// latency spikes, and transient server errors — so the client's retry path
+// can be exercised end-to-end against a live server.
+type ChaosConfig struct {
+	// DropRate is the probability a request fails at the transport layer
+	// (connection reset / timeout analogue).
+	DropRate float64
+	// FaultRate is the probability a request is answered with an injected
+	// transient server error instead of reaching the server.
+	FaultRate float64
+	// FaultStatus is the injected status code (default 503).
+	FaultStatus int
+	// Delay, when non-nil, sleeps one jittered RTT of the profile before
+	// each request — the delay shape of a real access network.
+	Delay *Profile
+	// DelayScale multiplies the profile delay (default 1); tests use a
+	// small scale to keep wall-clock time down.
+	DelayScale float64
+}
+
+// ChaosStats counts what a ChaosTransport did.
+type ChaosStats struct {
+	Drops   int64 // requests failed at the transport layer
+	Faults  int64 // requests answered with an injected 5xx
+	Delayed int64 // requests delayed before forwarding
+	Passed  int64 // requests forwarded to the real transport
+}
+
+// ChaosTransport is an http.RoundTripper that injects faults in front of a
+// real transport. Safe for concurrent use.
+type ChaosTransport struct {
+	base http.RoundTripper
+	cfg  ChaosConfig
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	drops   atomic.Int64
+	faults  atomic.Int64
+	delayed atomic.Int64
+	passed  atomic.Int64
+}
+
+// NewChaosTransport wraps base (http.DefaultTransport when nil) with fault
+// injection driven by the seeded rng.
+func NewChaosTransport(base http.RoundTripper, cfg ChaosConfig, rng *rand.Rand) (*ChaosTransport, error) {
+	if rng == nil {
+		return nil, ErrNilRNG
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.FaultStatus == 0 {
+		cfg.FaultStatus = http.StatusServiceUnavailable
+	}
+	if cfg.DelayScale == 0 {
+		cfg.DelayScale = 1
+	}
+	return &ChaosTransport{base: base, cfg: cfg, rng: rng}, nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop := t.rng.Float64() < t.cfg.DropRate
+	fault := !drop && t.rng.Float64() < t.cfg.FaultRate
+	var delayMs float64
+	if t.cfg.Delay != nil {
+		// One jittered RTT of the profile (zero payload bytes).
+		delayMs = t.cfg.Delay.fetchTime(0, t.rng) * t.cfg.DelayScale
+	}
+	t.mu.Unlock()
+
+	if delayMs > 0 {
+		t.delayed.Add(1)
+		time.Sleep(time.Duration(delayMs * float64(time.Millisecond)))
+	}
+	if drop {
+		t.drops.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("netsim: chaos dropped %s %s", req.Method, req.URL)
+	}
+	if fault {
+		t.faults.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		status := t.cfg.FaultStatus
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode:    status,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("netsim: injected transient fault")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	t.passed.Add(1)
+	return t.base.RoundTrip(req)
+}
+
+// Stats returns a snapshot of the transport's fault counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	return ChaosStats{
+		Drops:   t.drops.Load(),
+		Faults:  t.faults.Load(),
+		Delayed: t.delayed.Load(),
+		Passed:  t.passed.Load(),
+	}
+}

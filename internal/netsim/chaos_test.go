@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestChaosTransportNilRNG(t *testing.T) {
+	if _, err := NewChaosTransport(nil, ChaosConfig{}, nil); err != ErrNilRNG {
+		t.Errorf("err = %v, want ErrNilRNG", err)
+	}
+}
+
+func TestChaosTransportDropsEverything(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request should never reach the server")
+	}))
+	defer ts.Close()
+	chaos, err := NewChaosTransport(nil, ChaosConfig{DropRate: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: chaos}
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("dropped request should error")
+	}
+	if s := chaos.Stats(); s.Drops != 1 || s.Passed != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChaosTransportInjectsFaults(t *testing.T) {
+	chaos, err := NewChaosTransport(nil, ChaosConfig{FaultRate: 1}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: chaos}
+	// No server needed: the fault short-circuits before the dial.
+	resp, err := client.Get("http://192.0.2.1/never-dialed")
+	if err != nil {
+		t.Fatalf("injected fault should be a response, not an error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Errorf("body = %q", body)
+	}
+	if s := chaos.Stats(); s.Faults != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChaosTransportPassesThrough(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.Write([]byte("real"))
+	}))
+	defer ts.Close()
+	chaos, err := NewChaosTransport(nil, ChaosConfig{
+		Delay:      &Profile4G,
+		DelayScale: 0.001, // keep the test fast; shape still exercised
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: chaos}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "real" {
+			t.Errorf("body = %q", body)
+		}
+	}
+	s := chaos.Stats()
+	if served != 3 || s.Passed != 3 || s.Delayed != 3 || s.Drops+s.Faults != 0 {
+		t.Errorf("served=%d stats=%+v", served, s)
+	}
+}
+
+func TestChaosTransportMixedRates(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	chaos, err := NewChaosTransport(nil, ChaosConfig{DropRate: 0.3, FaultRate: 0.3},
+		rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: chaos}
+	const n = 200
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	s := chaos.Stats()
+	if s.Drops+s.Faults+s.Passed != n {
+		t.Fatalf("accounting broken: %+v", s)
+	}
+	// With 200 trials at 30% each, all three buckets are (overwhelmingly)
+	// non-empty for any seed.
+	if s.Drops == 0 || s.Faults == 0 || s.Passed == 0 {
+		t.Errorf("expected a mix, got %+v", s)
+	}
+}

@@ -15,6 +15,9 @@ const (
 	MetricRequests        = "kscope_http_requests_total"
 	MetricRequestDuration = "kscope_http_request_duration_seconds"
 	MetricResponseBytes   = "kscope_http_response_bytes_total"
+	// MetricInflight gauges requests currently being served — what a
+	// graceful shutdown drains to zero.
+	MetricInflight = "kscope_http_inflight_requests"
 )
 
 // RouteFunc maps a request onto a low-cardinality route label ("GET
@@ -75,7 +78,15 @@ func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route Rou
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	var inflight atomic.Int64
+	if reg != nil {
+		reg.RegisterGauge(MetricInflight, func() float64 {
+			return float64(inflight.Load())
+		})
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Add(1)
+		defer inflight.Add(-1)
 		start := time.Now()
 		id := reqSeq.Add(1)
 		reqLogger := logger.With("request_id", id)

@@ -157,6 +157,27 @@ func (s *Server) registerGauges() {
 			return float64(coll.Stats().Scans)
 		})
 	}
+	// Durability counters: how often the WAL recovered, compacted, and hit
+	// stable storage — the campaign operator's crash-safety dashboard.
+	db := s.db
+	reg.RegisterGauge("kscope_store_recovered_tails", func() float64 {
+		return float64(db.DurabilityStats().RecoveredTails)
+	})
+	reg.RegisterGauge("kscope_store_quarantined_records", func() float64 {
+		return float64(db.DurabilityStats().QuarantinedRecords)
+	})
+	reg.RegisterGauge("kscope_store_compactions", func() float64 {
+		return float64(db.DurabilityStats().Compactions)
+	})
+	reg.RegisterGauge("kscope_store_wal_appends", func() float64 {
+		return float64(db.DurabilityStats().WALAppends)
+	})
+	reg.RegisterGauge("kscope_store_fsyncs", func() float64 {
+		return float64(db.DurabilityStats().Fsyncs)
+	})
+	reg.RegisterGauge("kscope_store_fsync_seconds_total", func() float64 {
+		return float64(db.DurabilityStats().FsyncNanos) / 1e9
+	})
 }
 
 // RouteLabel maps a request onto the low-cardinality route label used for

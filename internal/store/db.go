@@ -3,8 +3,8 @@
 // blob store for integrated-webpage files. The database holds schemaless
 // JSON documents in named collections — the paper uses three: integrated
 // webpages, test information, and participant responses — supports
-// filtered queries, and optionally persists each collection as a JSON-lines
-// write-ahead log that is replayed on open.
+// filtered queries, and persists each collection as a checksummed
+// JSON-lines write-ahead log that is replayed (and repaired) on open.
 package store
 
 import (
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Document is one schemaless record. Values must be JSON-encodable.
@@ -63,30 +64,86 @@ var (
 	ErrDuplicateID = errors.New("store: duplicate id")
 )
 
+// options collects Open-time configuration.
+type options struct {
+	fs          FileSystem
+	policy      SyncPolicy
+	interval    time.Duration
+	autoCompact int
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithFileSystem substitutes the filesystem the WAL runs on (fault
+// injection in tests; the real disk by default).
+func WithFileSystem(fs FileSystem) Option {
+	return func(o *options) { o.fs = fs }
+}
+
+// WithSyncPolicy selects when WAL appends are fsynced (default
+// SyncInterval: group-commit at most once per interval).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *options) { o.policy = p }
+}
+
+// WithSyncInterval sets the SyncInterval group-commit window (default
+// 100ms). Non-positive durations fsync on every append.
+func WithSyncInterval(d time.Duration) Option {
+	return func(o *options) { o.interval = d }
+}
+
+// WithAutoCompact snapshots a collection's WAL after threshold appends
+// (when the log has grown past the live document count). Zero disables
+// auto-compaction; Compact remains available either way.
+func WithAutoCompact(threshold int) Option {
+	return func(o *options) { o.autoCompact = threshold }
+}
+
+func defaultOptions() options {
+	return options{fs: OSFileSystem{}, policy: SyncInterval, interval: 100 * time.Millisecond}
+}
+
 // DB is a collection-oriented document database. The zero value is not
 // usable; construct with Open or OpenMemory.
 type DB struct {
 	mu          sync.RWMutex
 	dir         string // "" = memory-only
+	opts        options
 	collections map[string]*Collection
-	closed      bool
+	closed      atomic.Bool
+
+	// Durability counters; see DurabilityStats.
+	recoveredTails atomic.Int64
+	quarantined    atomic.Int64
+	compactions    atomic.Int64
+	walAppends     atomic.Int64
+	fsyncs         atomic.Int64
+	fsyncNanos     atomic.Int64
 }
 
 // OpenMemory returns a purely in-memory database.
 func OpenMemory() *DB {
-	return &DB{collections: make(map[string]*Collection)}
+	return &DB{opts: defaultOptions(), collections: make(map[string]*Collection)}
 }
 
 // Open returns a database persisted under dir (created if needed). Each
-// collection is stored as <dir>/<name>.jsonl and replayed on open.
-func Open(dir string) (*DB, error) {
+// collection is stored as <dir>/<name>.jsonl and replayed on open. Replay
+// repairs crash damage instead of refusing to start: a torn final record
+// is truncated, and corrupt or invalid records elsewhere are moved to a
+// <name>.jsonl.corrupt sidecar for inspection.
+func Open(dir string, opts ...Option) (*DB, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory; use OpenMemory")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	db := &DB{dir: dir, collections: make(map[string]*Collection)}
+	db := &DB{dir: dir, opts: o, collections: make(map[string]*Collection)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
@@ -134,13 +191,31 @@ func (db *DB) CollectionNames() []string {
 	return names
 }
 
-// Close marks the database closed. Persisted data is already on disk (every
-// write is flushed through the WAL), so Close is cheap.
+// Close marks the database closed and flushes and closes every
+// collection's WAL handle. Subsequent mutations and Get return ErrClosed;
+// Find/FindEq/CountEq return empty results.
 func (db *DB) Close() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.closed = true
+	if db.closed.Swap(true) {
+		return
+	}
+	db.mu.RLock()
+	colls := make([]*Collection, 0, len(db.collections))
+	for _, c := range db.collections {
+		colls = append(colls, c)
+	}
+	db.mu.RUnlock()
+	for _, c := range colls {
+		c.mu.Lock()
+		if c.wal != nil {
+			_ = c.wal.close()
+			c.wal = nil
+		}
+		c.mu.Unlock()
+	}
 }
+
+// isClosed reports whether Close has been called.
+func (db *DB) isClosed() bool { return db.closed.Load() }
 
 // walRecord is one line of a collection's JSONL log.
 type walRecord struct {
@@ -149,33 +224,31 @@ type walRecord struct {
 	Doc Document `json:"doc,omitempty"`
 }
 
-// loadCollection replays a collection's WAL.
+// loadCollection replays (and, when damaged, repairs) a collection's WAL.
 func (db *DB) loadCollection(name string) (*Collection, error) {
 	c := &Collection{name: name, db: db, docs: make(map[string]Document)}
 	path := db.collectionPath(name)
-	data, err := os.ReadFile(path)
+	data, err := db.opts.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return c, nil
 		}
 		return nil, fmt.Errorf("store: reading %s: %w", path, err)
 	}
-	for i, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		var rec walRecord
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			return nil, fmt.Errorf("store: %s line %d: %w", path, i+1, err)
-		}
+	rep := scanWAL(data)
+	if err := recoverWAL(db.opts.fs, path, rep); err != nil {
+		return nil, err
+	}
+	if rep.truncateAt >= 0 {
+		db.recoveredTails.Add(1)
+	}
+	db.quarantined.Add(int64(len(rep.quarantined)))
+	for _, rec := range rep.records {
 		switch rec.Op {
 		case "put":
 			c.docs[rec.ID] = rec.Doc
 		case "del":
 			delete(c.docs, rec.ID)
-		default:
-			return nil, fmt.Errorf("store: %s line %d: unknown op %q", path, i+1, rec.Op)
 		}
 		// Track the sequence high-water mark for id generation.
 		if n, ok := parseSeqID(rec.ID); ok && n > c.seq {
@@ -212,12 +285,17 @@ type Collection struct {
 	indexes  map[string]*fieldIndex
 	onChange []func(op, id string)
 
+	// wal is the persistent append handle (opened lazily); appends counts
+	// records since the last compaction. Both are guarded by mu.
+	wal     *walFile
+	appends int
+
 	indexHits atomic.Int64
 	scans     atomic.Int64
 }
 
 // appendWAL writes one record to the collection's log when the database is
-// persistent.
+// persistent. Called with c.mu held.
 func (c *Collection) appendWAL(rec walRecord) error {
 	if c.db.dir == "" {
 		return nil
@@ -226,14 +304,17 @@ func (c *Collection) appendWAL(rec walRecord) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL record: %w", err)
 	}
-	f, err := os.OpenFile(c.db.collectionPath(c.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: opening WAL: %w", err)
+	if c.wal == nil {
+		f, err := c.db.opts.fs.OpenAppend(c.db.collectionPath(c.name))
+		if err != nil {
+			return err
+		}
+		c.wal = &walFile{file: f, db: c.db, lastSync: time.Now()}
 	}
-	defer f.Close()
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("store: appending WAL: %w", err)
+	if err := c.wal.append(data); err != nil {
+		return err
 	}
+	c.appends++
 	return nil
 }
 
@@ -255,6 +336,9 @@ func (c *Collection) InsertUnique(doc Document) (string, error) {
 }
 
 func (c *Collection) insert(doc Document, unique bool) (string, error) {
+	if c.db.isClosed() {
+		return "", ErrClosed
+	}
 	c.mu.Lock()
 	cp := doc.Clone()
 	normalizeDoc(cp)
@@ -278,6 +362,7 @@ func (c *Collection) insert(doc Document, unique bool) (string, error) {
 	}
 	c.docs[id] = cp
 	c.addToIndexes(id, cp)
+	c.maybeCompactLocked()
 	fns := c.onChange
 	c.mu.Unlock()
 	c.notify(fns, OpPut, id)
@@ -286,6 +371,9 @@ func (c *Collection) insert(doc Document, unique bool) (string, error) {
 
 // Get returns a copy of the document with the given id.
 func (c *Collection) Get(id string) (Document, error) {
+	if c.db.isClosed() {
+		return nil, ErrClosed
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	doc, ok := c.docs[id]
@@ -298,11 +386,22 @@ func (c *Collection) Get(id string) (Document, error) {
 // Find returns copies of all documents matching the predicate, sorted by
 // id for determinism. A nil predicate matches everything. Find always scans
 // the whole collection; equality lookups should use FindEq, which consults
-// the declared indexes.
+// the declared indexes. On a closed database Find returns nil.
 func (c *Collection) Find(pred func(Document) bool) []Document {
-	c.scans.Add(1)
+	if c.db.isClosed() {
+		return nil
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.scanLocked(pred)
+}
+
+// scanLocked performs (and counts) one full-collection scan; callers hold
+// at least the read lock. The scan is counted here — exactly once per
+// logical operation — so FindEq/CountEq fallbacks and Find agree on
+// accounting.
+func (c *Collection) scanLocked(pred func(Document) bool) []Document {
+	c.scans.Add(1)
 	var out []Document
 	for _, doc := range c.docs {
 		if pred == nil || pred(doc) {
@@ -316,8 +415,12 @@ func (c *Collection) Find(pred func(Document) bool) []Document {
 // FindEq returns documents whose field equals value, sorted by id. When the
 // field is indexed (EnsureIndex) this is a map lookup plus a copy of the
 // matching documents; otherwise it scans. Numeric values are compared after
-// JSON normalization (all numbers are float64).
+// JSON normalization (all numbers are float64). On a closed database FindEq
+// returns nil.
 func (c *Collection) FindEq(field string, value any) []Document {
+	if c.db.isClosed() {
+		return nil
+	}
 	c.mu.RLock()
 	if ix, ok := c.indexes[field]; ok {
 		if key, comparable := indexKey(value); comparable {
@@ -332,17 +435,22 @@ func (c *Collection) FindEq(field string, value any) []Document {
 			return out
 		}
 	}
-	c.mu.RUnlock()
 	norm := normalizeValue(value)
-	return c.Find(func(d Document) bool {
+	out := c.scanLocked(func(d Document) bool {
 		return normalizeValue(d[field]) == norm
 	})
+	c.mu.RUnlock()
+	return out
 }
 
 // CountEq reports how many documents have field equal to value. On an
 // indexed field this is O(1) — no documents are copied — which is what the
-// serving path's listing counters use.
+// serving path's listing counters use. On a closed database CountEq
+// returns 0.
 func (c *Collection) CountEq(field string, value any) int {
+	if c.db.isClosed() {
+		return 0
+	}
 	c.mu.RLock()
 	if ix, ok := c.indexes[field]; ok {
 		if key, comparable := indexKey(value); comparable {
@@ -352,6 +460,7 @@ func (c *Collection) CountEq(field string, value any) int {
 			return n
 		}
 	}
+	c.scans.Add(1)
 	norm := normalizeValue(value)
 	n := 0
 	for _, doc := range c.docs {
@@ -360,7 +469,6 @@ func (c *Collection) CountEq(field string, value any) int {
 		}
 	}
 	c.mu.RUnlock()
-	c.scans.Add(1)
 	return n
 }
 
@@ -404,6 +512,9 @@ func normalizeValue(v any) any {
 // result. The callback receives a copy; returning nil aborts with no change.
 // Like Insert, the stored result is numerically normalized.
 func (c *Collection) Update(id string, mutate func(Document) Document) error {
+	if c.db.isClosed() {
+		return ErrClosed
+	}
 	c.mu.Lock()
 	doc, ok := c.docs[id]
 	if !ok {
@@ -424,6 +535,7 @@ func (c *Collection) Update(id string, mutate func(Document) Document) error {
 	c.removeFromIndexes(id, doc)
 	c.docs[id] = updated
 	c.addToIndexes(id, updated)
+	c.maybeCompactLocked()
 	fns := c.onChange
 	c.mu.Unlock()
 	c.notify(fns, OpPut, id)
@@ -432,6 +544,9 @@ func (c *Collection) Update(id string, mutate func(Document) Document) error {
 
 // Delete removes the document with the given id (no error if absent).
 func (c *Collection) Delete(id string) error {
+	if c.db.isClosed() {
+		return ErrClosed
+	}
 	c.mu.Lock()
 	doc, ok := c.docs[id]
 	if !ok {
@@ -444,6 +559,7 @@ func (c *Collection) Delete(id string) error {
 	}
 	c.removeFromIndexes(id, doc)
 	delete(c.docs, id)
+	c.maybeCompactLocked()
 	fns := c.onChange
 	c.mu.Unlock()
 	c.notify(fns, OpDelete, id)

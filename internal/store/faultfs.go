@@ -1,0 +1,126 @@
+package store
+
+import (
+	"sync"
+	"syscall"
+)
+
+// ErrNoSpace is the default injected append failure: disk full.
+var ErrNoSpace = syscall.ENOSPC
+
+// FaultFS wraps a FileSystem and injects write faults into WAL appends:
+// after a configured number of appended bytes, every further Write fails
+// (optionally after persisting a torn prefix, which is what a crash mid
+// write leaves behind). It exists so crash-recovery tests can prove the
+// property that matters for a days-long crowdsourcing campaign: every
+// acknowledged write survives a reopen, and a torn tail never prevents the
+// store from opening.
+//
+// Reads, renames, and truncates pass through untouched — recovery itself
+// runs on a healthy disk.
+type FaultFS struct {
+	// Inner is the wrapped FileSystem (OSFileSystem when nil).
+	Inner FileSystem
+
+	mu      sync.Mutex
+	limit   int64 // appended-byte budget; <0 = unlimited
+	written int64
+	err     error // returned once the budget is exhausted
+	torn    bool  // persist the partial prefix of the failing write
+	tripped bool
+}
+
+// NewFaultFS returns a FaultFS over the real disk with no fault armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{Inner: OSFileSystem{}, limit: -1}
+}
+
+// FailAppendsAfter arms the fault: once n bytes have been appended across
+// all WAL files, writes fail with err (ErrNoSpace when nil). With torn set,
+// the failing write first persists the bytes that still fit — a torn write,
+// as left by a crash or a partially full disk.
+func (f *FaultFS) FailAppendsAfter(n int64, err error, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.limit, f.err, f.torn = n, err, torn
+	f.written, f.tripped = 0, false
+}
+
+// Reset disarms the fault (the disk "recovers").
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = -1
+	f.written, f.tripped = 0, false
+}
+
+// Tripped reports whether an injected fault has fired.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+func (f *FaultFS) inner() FileSystem {
+	if f.Inner == nil {
+		return OSFileSystem{}
+	}
+	return f.Inner
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.inner().ReadFile(path) }
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	return f.inner().WriteFile(path, data)
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error { return f.inner().Rename(oldPath, newPath) }
+
+func (f *FaultFS) Truncate(path string, size int64) error { return f.inner().Truncate(path, size) }
+
+func (f *FaultFS) OpenAppend(path string) (WALFile, error) {
+	w, err := f.inner().OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: w}, nil
+}
+
+// faultFile applies the FaultFS byte budget to one WAL handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner WALFile
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	f := w.fs
+	f.mu.Lock()
+	if f.limit >= 0 && f.written+int64(len(p)) > f.limit {
+		keep := 0
+		if f.torn {
+			keep = int(f.limit - f.written)
+		}
+		f.written = f.limit
+		f.tripped = true
+		err := f.err
+		f.mu.Unlock()
+		if keep > 0 {
+			// A torn write: part of the record reaches the disk.
+			if _, werr := w.inner.Write(p[:keep]); werr != nil {
+				return 0, werr
+			}
+			_ = w.inner.Sync()
+		}
+		return keep, err
+	}
+	f.written += int64(len(p))
+	f.mu.Unlock()
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error { return w.inner.Sync() }
+
+func (w *faultFile) Close() error { return w.inner.Close() }

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileSystem is the narrow surface the WAL needs from the OS. The default
+// implementation (OSFileSystem) passes straight through; tests substitute a
+// fault-injecting implementation (FaultFS) to simulate disk-full, torn
+// writes, and crashes mid-append without touching real hardware.
+type FileSystem interface {
+	// ReadFile returns the whole file ([]byte(nil), os.ErrNotExist wrapped
+	// when absent is fine — callers check with os.IsNotExist / errors.Is).
+	ReadFile(path string) ([]byte, error)
+	// WriteFile replaces path with data durably: the contents are synced
+	// to stable storage before WriteFile returns. Used for WAL rewrites
+	// and compaction snapshots (always paired with Rename for atomicity).
+	WriteFile(path string, data []byte) error
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Truncate cuts path to size bytes (torn-tail recovery).
+	Truncate(path string, size int64) error
+	// OpenAppend opens path for appending, creating it if needed.
+	OpenAppend(path string) (WALFile, error)
+}
+
+// WALFile is an append-only log file handle.
+type WALFile interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFileSystem is the real-disk FileSystem.
+type OSFileSystem struct{}
+
+func (OSFileSystem) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFileSystem) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFileSystem) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OSFileSystem) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFileSystem) OpenAppend(path string) (WALFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
+	}
+	return f, nil
+}

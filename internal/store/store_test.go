@@ -402,15 +402,24 @@ func TestPutSiteInvalid(t *testing.T) {
 
 func TestLoadCorruptWAL(t *testing.T) {
 	dir := t.TempDir()
-	// A valid record followed by garbage.
+	// A valid record followed by trailing garbage: the torn-tail case. The
+	// store opens, keeps the acknowledged record, and truncates the tail.
 	content := `{"op":"put","id":"doc-1","doc":{"_id":"doc-1","v":1}}
 this is not json
 `
 	if err := os.WriteFile(filepath.Join(dir, "tests.jsonl"), []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
-		t.Error("corrupt WAL should fail loudly, not silently drop data")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt tail must not prevent open: %v", err)
+	}
+	defer db.Close()
+	if got := db.Collection("tests").Count(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	if s := db.DurabilityStats(); s.RecoveredTails != 1 {
+		t.Errorf("stats = %+v, want 1 recovered tail", s)
 	}
 }
 
@@ -421,8 +430,19 @@ func TestLoadUnknownWALOp(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "tests.jsonl"), []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
-		t.Error("unknown WAL op should fail")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("unknown op must be quarantined, not fatal: %v", err)
+	}
+	defer db.Close()
+	if got := db.Collection("tests").Count(); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+	if s := db.DurabilityStats(); s.QuarantinedRecords != 1 {
+		t.Errorf("stats = %+v, want 1 quarantined record", s)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tests.jsonl"+corruptSuffix)); err != nil {
+		t.Errorf("missing quarantine sidecar: %v", err)
 	}
 }
 

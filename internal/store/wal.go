@@ -1,0 +1,351 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WAL framing. Every record written since the durability rework is one
+// line of the form
+//
+//	#w1 <crc32-ieee hex8> <json>
+//
+// where the checksum covers the JSON payload. Lines that start with '{'
+// are legacy unframed records from older stores and are replayed without
+// verification. Framing is what lets recovery tell a torn final record
+// (crash mid-append — truncate it) from mid-file corruption (bit rot or a
+// foreign writer — quarantine it to a .corrupt sidecar) without ever
+// refusing to open the store.
+const frameMagic = "#w1"
+
+// corruptSuffix names the quarantine sidecar next to a collection's WAL.
+const corruptSuffix = ".corrupt"
+
+// frameRecord renders one framed WAL line (with trailing newline).
+func frameRecord(payload []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(frameMagic) + 1 + 8 + 1 + len(payload) + 1)
+	b.WriteString(frameMagic)
+	b.WriteByte(' ')
+	fmt.Fprintf(&b, "%08x", crc32.ChecksumIEEE(payload))
+	b.WriteByte(' ')
+	b.Write(payload)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// lineClass is the verdict on one WAL line.
+type lineClass int
+
+const (
+	lineOK   lineClass = iota
+	lineTorn           // structural damage: bad frame, bad checksum, bad JSON
+	lineBad            // well-formed but semantically invalid (unknown op, ...)
+)
+
+// parseWALLine decodes one non-blank WAL line, framed or legacy.
+func parseWALLine(line []byte) (walRecord, lineClass) {
+	var rec walRecord
+	payload := line
+	if bytes.HasPrefix(line, []byte(frameMagic+" ")) {
+		rest := line[len(frameMagic)+1:]
+		if len(rest) < 10 || rest[8] != ' ' {
+			return rec, lineTorn
+		}
+		want, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+		if err != nil {
+			return rec, lineTorn
+		}
+		payload = rest[9:]
+		if crc32.ChecksumIEEE(payload) != uint32(want) {
+			return rec, lineTorn
+		}
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, lineTorn
+	}
+	switch rec.Op {
+	case "put":
+		if rec.ID == "" || rec.Doc == nil {
+			return rec, lineBad
+		}
+	case "del":
+		if rec.ID == "" {
+			return rec, lineBad
+		}
+	default:
+		return rec, lineBad
+	}
+	return rec, lineOK
+}
+
+// walReplay is the outcome of scanning one collection's log.
+type walReplay struct {
+	records     []walRecord
+	goodLines   [][]byte // verbatim good lines, for rewrites
+	quarantined [][]byte // semantically bad or mid-file-corrupt lines
+	truncateAt  int64    // byte offset of a torn final record; -1 = none
+}
+
+// scanWAL classifies every line of a WAL file. Structural damage on the
+// final record is a torn tail (the write the crash interrupted); structural
+// damage earlier, and any semantically invalid record anywhere, is
+// quarantined. Acknowledged records are never dropped by either path: a
+// torn tail is by definition unacknowledged, and quarantining only removes
+// records that could never have been applied.
+func scanWAL(data []byte) walReplay {
+	rep := walReplay{truncateAt: -1}
+	type rawLine struct {
+		start int64
+		text  []byte
+	}
+	var lines []rawLine
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		var next int64
+		if nl < 0 {
+			line, next = data, off+int64(len(data))
+			data = nil
+		} else {
+			line, next = data[:nl], off+int64(nl)+1
+			data = data[nl+1:]
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			lines = append(lines, rawLine{start: off, text: line})
+		}
+		off = next
+	}
+	for i, ln := range lines {
+		rec, class := parseWALLine(bytes.TrimSpace(ln.text))
+		switch class {
+		case lineOK:
+			rep.records = append(rep.records, rec)
+			rep.goodLines = append(rep.goodLines, ln.text)
+		case lineTorn:
+			if i == len(lines)-1 {
+				// The interrupted final append: cut it off.
+				rep.truncateAt = ln.start
+			} else {
+				rep.quarantined = append(rep.quarantined, ln.text)
+			}
+		case lineBad:
+			rep.quarantined = append(rep.quarantined, ln.text)
+		}
+	}
+	return rep
+}
+
+// recoverWAL applies a replay's repairs to the on-disk file: truncate a
+// torn tail in place, or — when records were quarantined — append them to
+// the .corrupt sidecar and atomically rewrite the WAL from the good lines.
+func recoverWAL(fs FileSystem, path string, rep walReplay) error {
+	if len(rep.quarantined) > 0 {
+		side, err := fs.OpenAppend(path + corruptSuffix)
+		if err != nil {
+			return fmt.Errorf("store: opening quarantine %s: %w", path+corruptSuffix, err)
+		}
+		for _, ln := range rep.quarantined {
+			if _, err := side.Write(append(ln, '\n')); err != nil {
+				side.Close()
+				return fmt.Errorf("store: quarantining to %s: %w", path+corruptSuffix, err)
+			}
+		}
+		if err := side.Close(); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		for _, ln := range rep.goodLines {
+			buf.Write(ln)
+			buf.WriteByte('\n')
+		}
+		tmp := path + ".rewrite.tmp"
+		if err := fs.WriteFile(tmp, buf.Bytes()); err != nil {
+			return fmt.Errorf("store: rewriting %s: %w", path, err)
+		}
+		if err := fs.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: swapping rewritten %s: %w", path, err)
+		}
+		return nil
+	}
+	if rep.truncateAt >= 0 {
+		if err := fs.Truncate(path, rep.truncateAt); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval group-commits: appends are written immediately but
+	// fsynced at most once per interval (plus once on Close). The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: an acknowledged write is on
+	// stable storage before the caller sees nil.
+	SyncAlways
+	// SyncNever leaves flushing entirely to the OS.
+	SyncNever
+)
+
+// walFile is a collection's persistent append handle. All methods are
+// called with the owning collection's lock held.
+type walFile struct {
+	file     WALFile
+	db       *DB
+	lastSync time.Time
+	closed   bool
+}
+
+func (w *walFile) append(payload []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if _, err := w.file.Write(frameRecord(payload)); err != nil {
+		return fmt.Errorf("store: appending WAL: %w", err)
+	}
+	w.db.walAppends.Add(1)
+	switch w.db.opts.policy {
+	case SyncAlways:
+		return w.sync()
+	case SyncNever:
+		return nil
+	default:
+		if time.Since(w.lastSync) >= w.db.opts.interval {
+			return w.sync()
+		}
+	}
+	return nil
+}
+
+func (w *walFile) sync() error {
+	start := time.Now()
+	err := w.file.Sync()
+	w.db.fsyncs.Add(1)
+	w.db.fsyncNanos.Add(time.Since(start).Nanoseconds())
+	w.lastSync = time.Now()
+	if err != nil {
+		return fmt.Errorf("store: fsync WAL: %w", err)
+	}
+	return nil
+}
+
+// close flushes (except under SyncNever) and closes the handle.
+func (w *walFile) close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var syncErr error
+	if w.db.opts.policy != SyncNever {
+		syncErr = w.sync()
+	}
+	if err := w.file.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// Compact rewrites the collection's WAL as a snapshot of the live
+// documents: one framed put per document, written to a temp file, synced,
+// and atomically renamed over the log. Update-heavy collections otherwise
+// grow without bound; a days-long campaign compacts periodically (or
+// automatically via WithAutoCompact).
+func (c *Collection) Compact() error {
+	if c.db.isClosed() {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactLocked()
+}
+
+// compactLocked is Compact with c.mu already held.
+func (c *Collection) compactLocked() error {
+	if c.db.dir == "" {
+		return nil
+	}
+	ids := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var buf bytes.Buffer
+	for _, id := range ids {
+		payload, err := json.Marshal(walRecord{Op: "put", ID: id, Doc: c.docs[id]})
+		if err != nil {
+			return fmt.Errorf("store: encoding snapshot record %s: %w", id, err)
+		}
+		buf.Write(frameRecord(payload))
+	}
+	path := c.db.collectionPath(c.name)
+	tmp := path + ".compact.tmp"
+	fs := c.db.opts.fs
+	if err := fs.WriteFile(tmp, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: writing snapshot %s: %w", tmp, err)
+	}
+	// Close the old handle first: after the rename it would point at the
+	// replaced inode and appends would vanish.
+	if c.wal != nil {
+		if err := c.wal.close(); err != nil {
+			return err
+		}
+		c.wal = nil
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: swapping snapshot %s: %w", path, err)
+	}
+	c.appends = 0
+	c.db.compactions.Add(1)
+	return nil
+}
+
+// maybeCompactLocked auto-compacts after the configured number of appends,
+// provided compaction would actually shrink the log. Called with c.mu held,
+// after the mutation has been applied to the in-memory state (so the
+// snapshot includes it). Best-effort: a failed auto-compaction leaves the
+// intact WAL in place and retries after the next append.
+func (c *Collection) maybeCompactLocked() {
+	t := c.db.opts.autoCompact
+	if t <= 0 || c.appends < t || c.appends <= len(c.docs) {
+		return
+	}
+	_ = c.compactLocked()
+}
+
+// DurabilityStats is a snapshot of the store's crash-safety counters,
+// exported as gauges on the serving path's /metrics.
+type DurabilityStats struct {
+	// RecoveredTails counts torn final records truncated during Open.
+	RecoveredTails int64
+	// QuarantinedRecords counts corrupt or invalid records moved to
+	// .corrupt sidecars during Open.
+	QuarantinedRecords int64
+	// Compactions counts snapshot rewrites (manual and automatic).
+	Compactions int64
+	// WALAppends counts records appended to collection logs.
+	WALAppends int64
+	// Fsyncs counts WAL fsync calls; FsyncNanos is their total duration.
+	Fsyncs     int64
+	FsyncNanos int64
+}
+
+// DurabilityStats returns the database's durability counters.
+func (db *DB) DurabilityStats() DurabilityStats {
+	return DurabilityStats{
+		RecoveredTails:     db.recoveredTails.Load(),
+		QuarantinedRecords: db.quarantined.Load(),
+		Compactions:        db.compactions.Load(),
+		WALAppends:         db.walAppends.Load(),
+		Fsyncs:             db.fsyncs.Load(),
+		FsyncNanos:         db.fsyncNanos.Load(),
+	}
+}
