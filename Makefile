@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator
 
 build:
 	$(GO) build ./...
@@ -27,3 +28,27 @@ bench:
 chaos:
 	$(GO) test -count=3 -run 'Chaos|Crash|Fault|Torn|Quarantin|Recover|ENOSPC|Drain|Retr|Compact|SyncPolic' \
 		./internal/store/ ./internal/netsim/ ./internal/extension/ ./cmd/kscope-server/
+
+# Short fuzz passes over every fuzz target — the CI smoke stage. Crashing
+# inputs land in testdata/fuzz/ as permanent regression seeds.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/htmlx/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSelector$$' -fuzztime $(FUZZTIME) ./internal/cssx/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseStylesheet$$' -fuzztime $(FUZZTIME) ./internal/cssx/
+	$(GO) test -run '^$$' -fuzz '^FuzzInjectSpec$$' -fuzztime $(FUZZTIME) ./internal/pageload/
+
+# Full-repo coverage profile (published as a CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Coverage floors on the preparation pipeline's load-bearing packages.
+cover-check: cover
+	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80
+
+# The PR-3 acceptance benchmark pair; record results in
+# BENCH_aggregator.json (on >=4 cores the parallel pipeline should show
+# >=2x over the sequential reference — see that file's notes).
+bench-aggregator:
+	$(GO) test -run '^$$' -bench 'BenchmarkPrepare(Sequential|Parallel)$$' -benchmem -count=3 \
+		./internal/aggregator/

@@ -190,6 +190,7 @@ func cmdPrepare(args []string) error {
 	paramsPath := fs.String("params", "", "parameter document (required)")
 	sitesDir := fs.String("sites", "", "directory of version folders (required)")
 	storeDir := fs.String("store", "", "storage directory (required)")
+	workers := fs.Int("prepare-workers", 0, "preparation pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,7 +214,7 @@ func cmdPrepare(args []string) error {
 	if err != nil {
 		return err
 	}
-	agg, err := aggregator.New(db, blobs)
+	agg, err := aggregator.New(db, blobs, aggregator.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -221,8 +222,10 @@ func cmdPrepare(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("prepared test %q: %d real pages, %d control pages -> %s\n",
-		test.TestID, len(prep.RealPages()), len(prep.ControlPages()), *storeDir)
+	stats := blobs.Stats()
+	fmt.Printf("prepared test %q: %d real pages, %d control pages (%d blobs deduped, %d bytes saved) -> %s\n",
+		test.TestID, len(prep.RealPages()), len(prep.ControlPages()),
+		stats.DedupHits, stats.BytesSaved, *storeDir)
 	fmt.Println("serve it with: kscope-server -store", *storeDir)
 	return nil
 }
@@ -236,6 +239,7 @@ func cmdSimulate(args []string) error {
 	question := fs.String("question", "font", "perception model: font, visibility, readiness")
 	sorted := fs.Bool("sorted", false, "use the sorted flow (fewer comparisons; requires one question)")
 	concurrency := fs.Int("concurrency", 1, "parallel participant sessions")
+	prepWorkers := fs.Int("prepare-workers", 0, "preparation pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,13 +276,14 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	outcome, err := engine.RunStudy(&core.Study{
-		Params:      test,
-		Sites:       sites,
-		Answer:      answer,
-		Pool:        pool,
-		TrustedOnly: *trusted,
-		Sorted:      *sorted,
-		Concurrency: *concurrency,
+		Params:         test,
+		Sites:          sites,
+		Answer:         answer,
+		Pool:           pool,
+		TrustedOnly:    *trusted,
+		Sorted:         *sorted,
+		Concurrency:    *concurrency,
+		PrepareWorkers: *prepWorkers,
 	}, rng)
 	if err != nil {
 		return err

@@ -10,14 +10,30 @@
 //     with known answers) for quality control,
 //  4. stores everything in the document database and blob store the core
 //     server serves from.
+//
+// Preparation is C(N,2)-shaped work and runs as a staged concurrent
+// pipeline by default: a bounded worker pool compresses all versions and
+// control sides, a barrier, then the integrated-page builds fan out over
+// the same pool. Identical inputs are compressed once and identical
+// compressed payloads are stored once (the blob store's content-addressed
+// layer). Output is deterministic — page order, IDs, stored bytes, and
+// first-error behavior are independent of scheduling and match the
+// straight-line reference path (WithSequential), which the differential
+// determinism tests enforce.
 package aggregator
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"kaleidoscope/internal/htmlx"
 	"kaleidoscope/internal/inline"
+	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/pageload"
 	"kaleidoscope/internal/params"
 	"kaleidoscope/internal/questionnaire"
@@ -94,31 +110,279 @@ func (p *Prepared) ControlPages() []IntegratedPage {
 
 // Aggregator wires the preparation pipeline to storage.
 type Aggregator struct {
-	db    *store.DB
-	blobs *store.BlobStore
+	db         *store.DB
+	blobs      *store.BlobStore
+	workers    int
+	sequential bool
+	reg        *obs.Registry // nil when observability is off
+	inflight   atomic.Int64
+}
+
+// Option configures an Aggregator.
+type Option func(*Aggregator)
+
+// WithWorkers bounds the preparation pool at n concurrent workers. Zero or
+// negative means GOMAXPROCS; 1 runs the pipeline on a single worker
+// (still through the staged path — see WithSequential for the reference
+// implementation).
+func WithWorkers(n int) Option {
+	return func(a *Aggregator) { a.workers = n }
+}
+
+// WithSequential selects the straight-line reference implementation of
+// Prepare — no pool, no stages. It exists for differential testing and
+// benchmarking against the pipeline; outputs are bit-identical either way.
+func WithSequential() Option {
+	return func(a *Aggregator) { a.sequential = true }
+}
+
+// WithObservability exports preparation metrics into reg: the
+// aggregator_inline_seconds histogram, aggregator_pages_built_total and
+// aggregator_blobs_deduped_total counters, and the
+// aggregator_prepare_inflight gauge.
+func WithObservability(reg *obs.Registry) Option {
+	return func(a *Aggregator) { a.reg = reg }
 }
 
 // New returns an aggregator over the given storage. It declares the
 // test_id indexes the by-test lookups (LoadPrepared, the server's session
 // queries) rely on; EnsureIndex is idempotent, so this composes with other
 // components declaring the same indexes.
-func New(db *store.DB, blobs *store.BlobStore) (*Aggregator, error) {
+func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Aggregator, error) {
 	if db == nil || blobs == nil {
 		return nil, errors.New("aggregator: nil storage")
 	}
 	db.Collection(PagesCollection).EnsureIndex("test_id")
 	db.Collection(ResponsesCollection).EnsureIndex("test_id")
-	return &Aggregator{db: db, blobs: blobs}, nil
+	a := &Aggregator{db: db, blobs: blobs}
+	for _, opt := range opts {
+		opt(a)
+	}
+	if a.workers <= 0 {
+		a.workers = runtime.GOMAXPROCS(0)
+	}
+	if a.reg != nil {
+		a.reg.RegisterGauge("aggregator_prepare_inflight", func() float64 {
+			return float64(a.inflight.Load())
+		})
+	}
+	return a, nil
 }
 
 // Prepare runs the full preparation pipeline. The sites map is keyed by
 // each webpage's WebPath from the test parameters. Extra control pairs are
 // optional; an identical-pair control (expected answer "Same") is always
 // generated from the first version.
+//
+// On failure Prepare returns the first error in pipeline order (the error
+// the sequential path would have hit) and removes everything it wrote for
+// the test — blobs and documents — so a failed preparation leaves no
+// partial state behind.
 func (a *Aggregator) Prepare(test *params.Test, sites map[string]*webgen.Site, extraControls []ControlPair) (*Prepared, error) {
 	if err := test.Validate(); err != nil {
 		return nil, fmt.Errorf("aggregator: %w", err)
 	}
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	statsBefore := a.blobs.Stats()
+
+	var (
+		prep *Prepared
+		err  error
+	)
+	if a.sequential {
+		prep, err = a.prepareSequential(test, sites, extraControls)
+	} else {
+		prep, err = a.preparePipeline(test, sites, extraControls)
+	}
+	if err != nil {
+		a.cleanupTest(test.TestID)
+		return nil, err
+	}
+	if a.reg != nil {
+		a.reg.Counter("aggregator_pages_built_total").Add(int64(len(prep.Pages)))
+		a.reg.Counter("aggregator_blobs_deduped_total").
+			Add(a.blobs.Stats().DedupHits - statsBefore.DedupHits)
+	}
+	return prep, nil
+}
+
+// compressJob is one unit of the pipeline's first stage: inline a version
+// (or control side) into a single file and inject its replay spec.
+// Identical (site, spec) inputs share one job, so duplicated control sides
+// are compressed once.
+type compressJob struct {
+	site *webgen.Site
+	spec params.PageLoadSpec
+	// wrap decorates a failure with the position-specific message the
+	// sequential path produces for this job's first occurrence.
+	wrap func(error) error
+	out  *webgen.Site
+}
+
+// buildJob is one unit of the pipeline's second stage: assemble and store
+// one integrated page.
+type buildJob struct {
+	pageID      string
+	left, right *compressJob
+}
+
+// preparePipeline is the staged concurrent implementation of Prepare.
+func (a *Aggregator) preparePipeline(test *params.Test, sites map[string]*webgen.Site, extraControls []ControlPair) (*Prepared, error) {
+	// Stage 0 (serial, cheap): validate inputs and lay out the compress
+	// jobs, the page list, and the build jobs deterministically. All
+	// ordering decisions happen here, before anything runs concurrently.
+	var jobs []*compressJob
+	memo := make(map[string]*compressJob)
+	newJob := func(site *webgen.Site, spec params.PageLoadSpec, wrap func(error) error) *compressJob {
+		specJSON, _ := json.Marshal(spec.Schedule)
+		key := fmt.Sprintf("%p|%d|%s", site, spec.UniformMillis, specJSON)
+		if j, ok := memo[key]; ok {
+			return j
+		}
+		j := &compressJob{site: site, spec: spec, wrap: wrap}
+		memo[key] = j
+		jobs = append(jobs, j)
+		return j
+	}
+
+	versionJobs := make([]*compressJob, len(test.Webpages))
+	names := make([]string, len(test.Webpages))
+	for i, wp := range test.Webpages {
+		site, ok := sites[wp.WebPath]
+		if !ok {
+			return nil, fmt.Errorf("aggregator: no site provided for web_path %q", wp.WebPath)
+		}
+		path := wp.WebPath
+		versionJobs[i] = newJob(site, wp.WebPageLoad, func(err error) error {
+			return fmt.Errorf("aggregator: version %q: %w", path, err)
+		})
+		names[i] = path
+	}
+	ctlJobs := make([][2]*compressJob, len(extraControls))
+	for k, ctl := range extraControls {
+		if !ctl.Expected.Valid() {
+			return nil, fmt.Errorf("aggregator: control %d has invalid expected answer %q", k, ctl.Expected)
+		}
+		k := k
+		ctlJobs[k][0] = newJob(ctl.Left, params.PageLoadSpec{}, func(err error) error {
+			return fmt.Errorf("aggregator: control %d left: %w", k, err)
+		})
+		ctlJobs[k][1] = newJob(ctl.Right, params.PageLoadSpec{}, func(err error) error {
+			return fmt.Errorf("aggregator: control %d right: %w", k, err)
+		})
+	}
+
+	prep := &Prepared{Test: test}
+	var builds []buildJob
+	addPage := func(page IntegratedPage, left, right *compressJob) {
+		prep.Pages = append(prep.Pages, page)
+		builds = append(builds, buildJob{pageID: page.ID, left: left, right: right})
+	}
+	for i := 0; i < len(versionJobs); i++ {
+		for j := i + 1; j < len(versionJobs); j++ {
+			addPage(IntegratedPage{
+				ID: fmt.Sprintf("pair-%d-%d", i, j), TestID: test.TestID,
+				LeftName: names[i], RightName: names[j], Kind: KindReal,
+			}, versionJobs[i], versionJobs[j])
+		}
+	}
+	addPage(IntegratedPage{
+		ID: "control-same", TestID: test.TestID,
+		LeftName: names[0], RightName: names[0],
+		Kind: KindControl, Expected: questionnaire.ChoiceSame,
+	}, versionJobs[0], versionJobs[0])
+	for k, ctl := range extraControls {
+		id := fmt.Sprintf("control-%d", k)
+		name := ctl.Name
+		if name == "" {
+			name = id
+		}
+		addPage(IntegratedPage{
+			ID: id, TestID: test.TestID,
+			LeftName: name + "-left", RightName: name + "-right",
+			Kind: KindControl, Expected: ctl.Expected,
+		}, ctlJobs[k][0], ctlJobs[k][1])
+	}
+
+	// Stage 1 (pool): compress every distinct version and control side.
+	if err := a.runJobs(len(jobs), func(i int) error {
+		j := jobs[i]
+		start := time.Now()
+		out, err := a.compressVersion(j.site, j.spec)
+		if a.reg != nil {
+			a.reg.Histogram("aggregator_inline_seconds", obs.DefLatencyBuckets).
+				Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
+			return j.wrap(err)
+		}
+		j.out = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 2 (pool): fan out the integrated-page builds and blob writes.
+	if err := a.runJobs(len(builds), func(i int) error {
+		b := builds[i]
+		return a.storeIntegrated(test.TestID, b.pageID, b.left.out, b.right.out)
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := a.persist(prep); err != nil {
+		return nil, err
+	}
+	return prep, nil
+}
+
+// runJobs executes fn(0..n-1) over the aggregator's worker pool and
+// returns the failed job with the lowest index — "first error" in pipeline
+// order, not completion order, so the reported error is deterministic.
+// Every job runs even when an earlier one fails; jobs are independent and
+// the failure path cleans up wholesale afterwards.
+func (a *Aggregator) runJobs(n int, fn func(int) error) error {
+	workers := a.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareSequential is the straight-line reference implementation the
+// pipeline is differentially tested against.
+func (a *Aggregator) prepareSequential(test *params.Test, sites map[string]*webgen.Site, extraControls []ControlPair) (*Prepared, error) {
 	// Compress + inject every version.
 	singles := make([]*webgen.Site, len(test.Webpages))
 	names := make([]string, len(test.Webpages))
@@ -195,6 +459,18 @@ func (a *Aggregator) Prepare(test *params.Test, sites map[string]*webgen.Site, e
 		return nil, err
 	}
 	return prep, nil
+}
+
+// cleanupTest removes everything a failed Prepare may have written for the
+// test: its blob prefix and its test/page documents. Idempotent; missing
+// state is fine.
+func (a *Aggregator) cleanupTest(testID string) {
+	_, _ = a.blobs.DeletePrefix(testID + "/")
+	_ = a.db.Collection(TestsCollection).Delete(testID)
+	pages := a.db.Collection(PagesCollection)
+	for _, doc := range pages.FindEq("test_id", testID) {
+		_ = pages.Delete(doc.ID())
+	}
 }
 
 // compressVersion inlines a version into one file and injects the replay

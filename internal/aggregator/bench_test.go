@@ -1,0 +1,64 @@
+package aggregator
+
+import (
+	"fmt"
+	"testing"
+
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/store"
+	"kaleidoscope/internal/webgen"
+)
+
+// benchInput builds a 6-version test (15 real pairs + 1 control), the
+// shape the PR's acceptance benchmark targets.
+func benchInput() (*params.Test, map[string]*webgen.Site) {
+	const n = 6
+	test := &params.Test{
+		TestID:          "bench-test",
+		WebpageNum:      n,
+		TestDescription: "prepare benchmark",
+		ParticipantNum:  1,
+		Questions:       []string{"q?"},
+	}
+	sites := make(map[string]*webgen.Site)
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("v%d", i)
+		test.Webpages = append(test.Webpages, params.Webpage{
+			WebPath:     path,
+			WebPageLoad: params.PageLoadSpec{UniformMillis: 1000 * (i + 1)},
+			WebMainFile: "index.html",
+		})
+		sites[path] = webgen.WikiArticle(webgen.WikiConfig{Seed: int64(i + 1), FontSizePt: 10 + i})
+	}
+	return test, sites
+}
+
+// benchPrepare times full Prepare runs over fresh in-memory storage.
+func benchPrepare(b *testing.B, opts ...Option) {
+	test, sites := benchInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := store.OpenMemory()
+		blobs := store.NewBlobStore()
+		agg, err := New(db, blobs, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agg.Prepare(test, sites, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrepareSequential(b *testing.B) { benchPrepare(b, WithSequential()) }
+
+func BenchmarkPrepareParallel(b *testing.B) { benchPrepare(b) }
+
+func BenchmarkPrepareParallelWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchPrepare(b, WithWorkers(w))
+		})
+	}
+}

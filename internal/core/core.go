@@ -24,6 +24,7 @@ import (
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/crowd"
 	"kaleidoscope/internal/extension"
+	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/params"
 	"kaleidoscope/internal/quality"
 	"kaleidoscope/internal/server"
@@ -65,6 +66,10 @@ type Study struct {
 	// stream seeded deterministically from the study RNG, so results stay
 	// reproducible for a given concurrency setting.
 	Concurrency int
+	// PrepareWorkers bounds the aggregator's preparation pool (0 =
+	// GOMAXPROCS). Preparation output is deterministic regardless of the
+	// pool size, so this only trades setup latency for CPU.
+	PrepareWorkers int
 	// QC overrides the quality-control config (nil = default derived from
 	// the test shape).
 	QC *quality.Config
@@ -112,6 +117,10 @@ type Engine struct {
 	DB     *store.DB
 	Blobs  *store.BlobStore
 	Server *server.Server
+	// Metrics, when set, receives the aggregator's preparation metrics
+	// (pass the same registry to server.WithObservability to get one
+	// exposition covering both paths).
+	Metrics *obs.Registry
 }
 
 // NewEngine builds an in-memory engine.
@@ -173,8 +182,13 @@ func (e *Engine) RunStudy(study *Study, rng *rand.Rand) (*Outcome, error) {
 		return nil, errors.New("core: nil random source")
 	}
 
-	// Stage 1: aggregate.
-	agg, err := aggregator.New(e.DB, e.Blobs)
+	// Stage 1: aggregate. Preparation fans out over the study's worker
+	// pool; its output is deterministic for any pool size.
+	aggOpts := []aggregator.Option{aggregator.WithWorkers(study.PrepareWorkers)}
+	if e.Metrics != nil {
+		aggOpts = append(aggOpts, aggregator.WithObservability(e.Metrics))
+	}
+	agg, err := aggregator.New(e.DB, e.Blobs, aggOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -71,7 +71,15 @@ func (z *tokenizer) lexMarkup() (token, bool) {
 	case strings.HasPrefix(rest, "<!--"):
 		return z.lexComment(), true
 	case strings.HasPrefix(rest, "<!"):
-		return z.lexDoctype(), true
+		if len(rest) >= len("<!doctype") && strings.EqualFold(rest[2:9], "doctype") {
+			return z.lexDoctype(), true
+		}
+		// Anything else after "<!" is a bogus comment (HTML spec): its
+		// content up to '>' becomes comment data. Serializing it in
+		// canonical <!--...--> form keeps Render a fixed point — emitting
+		// "<!" + data + ">" could collide with the comment syntax (e.g.
+		// "<! --0" would render as "<!--0>" and re-parse as a comment).
+		return z.lexBogusComment(), true
 	case strings.HasPrefix(rest, "</"):
 		return z.lexEndTag()
 	default:
@@ -89,6 +97,23 @@ func (z *tokenizer) lexComment() token {
 	} else {
 		data = z.src[z.pos : z.pos+end]
 		z.pos += end + len("-->")
+	}
+	return token{typ: tokenComment, data: data}
+}
+
+// lexBogusComment consumes "<!" plus everything up to (and including) the
+// next '>' and yields it as a comment token. The data never contains '>',
+// so rendering it as "<!--" + data + "-->" re-parses to the same data.
+func (z *tokenizer) lexBogusComment() token {
+	z.pos += len("<!")
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var data string
+	if end < 0 {
+		data = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		data = z.src[z.pos : z.pos+end]
+		z.pos += end + 1
 	}
 	return token{typ: tokenComment, data: data}
 }

@@ -1,0 +1,106 @@
+package pageload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"kaleidoscope/internal/htmlx"
+	"kaleidoscope/internal/params"
+)
+
+// specFromFuzz shapes fuzz inputs into a PageLoadSpec: an empty selector
+// selects the scalar (uniform) form, anything else a one-entry schedule.
+func specFromFuzz(uniform int, selector string, millis int) params.PageLoadSpec {
+	if selector == "" {
+		return params.PageLoadSpec{UniformMillis: uniform}
+	}
+	return params.PageLoadSpec{Schedule: []params.SelectorTime{{Selector: selector, Millis: millis}}}
+}
+
+// FuzzInjectSpec drives InjectSpec over arbitrary HTML and schedules and
+// checks the contract the aggregator relies on: injection never panics,
+// and on success the rendered page re-parses to the same schedule
+// (ExtractSpec round trip), with exactly one spec element no matter how
+// many stale copies the input carried.
+func FuzzInjectSpec(f *testing.F) {
+	f.Add("<html><head><title>t</title></head><body><p>hi</p></body></html>", 3000, "", 0)
+	f.Add("<p>bare fragment", 0, "#navbar", 1000)
+	f.Add("", 100, ".content > p", 5)
+	f.Add("<head><title>open", -5, "div p", -1)
+	// Hostile inputs: a selector that tries to close the script element,
+	// and documents already carrying stale injected elements.
+	f.Add("<body><p>x</p></body>", 0, "</script><script>alert(1)</script>", 7)
+	f.Add(`<body><div id="kscope-pageload-spec">stale</div><div id="kscope-pageload-spec">stale2</div></body>`, 0, "#a", 1)
+	f.Add(`<script id="kscope-pageload-spec">{"bogus":true}</script><textarea><div id="kscope-pageload-spec">`, 42, "", 0)
+	f.Fuzz(func(t *testing.T, html string, uniform int, selector string, millis int) {
+		spec := specFromFuzz(uniform, selector, millis)
+		doc := htmlx.Parse(html)
+		if err := InjectSpec(doc, spec); err != nil {
+			// Encoding failures are acceptable; crashing is not.
+			t.Skip()
+		}
+
+		// The schedule must survive render -> re-parse -> extract.
+		rendered := htmlx.Render(doc)
+		reparsed := htmlx.Parse(rendered)
+		got, err := ExtractSpec(reparsed)
+		if err != nil {
+			t.Fatalf("extract after inject: %v\nhtml: %q\nrendered: %q", err, html, rendered)
+		}
+		// The expected value is the spec as it survives JSON encoding
+		// (invalid UTF-8 in selectors is sanitized by json.Marshal), so
+		// push the original through a marshal/unmarshal cycle and compare
+		// structurally.
+		wantJSON, err := json.Marshal(spec)
+		if err != nil {
+			t.Skip()
+		}
+		var want params.PageLoadSpec
+		if err := json.Unmarshal(wantJSON, &want); err != nil {
+			t.Skip() // not canonically decodable (e.g. duplicate-key edge)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("spec round trip: got %+v, want %+v\nhtml: %q", got, want, html)
+		}
+
+		// Exactly one spec element and one runtime element survive,
+		// regardless of stale copies in the input.
+		for _, id := range []string{SpecElementID, RuntimeElementID} {
+			if n := countByID(reparsed, id); n != 1 {
+				t.Fatalf("%d elements with id %q after inject (want 1)\nhtml: %q", n, id, html)
+			}
+		}
+
+		// Injection is idempotent: re-injecting a different schedule
+		// replaces the old one.
+		spec2 := params.PageLoadSpec{UniformMillis: 1234}
+		if err := InjectSpec(reparsed, spec2); err != nil {
+			t.Fatalf("re-inject: %v", err)
+		}
+		again := htmlx.Parse(htmlx.Render(reparsed))
+		got2, err := ExtractSpec(again)
+		if err != nil {
+			t.Fatalf("extract after re-inject: %v", err)
+		}
+		if !got2.IsUniform() || got2.UniformMillis != 1234 {
+			t.Fatalf("re-inject not idempotent: got %+v", got2)
+		}
+	})
+}
+
+// countByID counts elements carrying the given id attribute.
+func countByID(doc *htmlx.Node, id string) int {
+	count := 0
+	var walk func(*htmlx.Node)
+	walk = func(n *htmlx.Node) {
+		if n.Type == htmlx.ElementNode && n.AttrOr("id", "") == id {
+			count++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(doc)
+	return count
+}

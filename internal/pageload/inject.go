@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"kaleidoscope/internal/htmlx"
 	"kaleidoscope/internal/params"
@@ -35,9 +36,15 @@ func InjectSpec(doc *htmlx.Node, spec params.PageLoadSpec) error {
 			head = doc
 		}
 	}
-	// Drop any previous injection.
+	// Drop any previous injection. Untrusted inputs may carry several
+	// stale elements under the reserved ids; remove them all, or a
+	// leftover would shadow the fresh spec at extraction time.
 	for _, id := range []string{SpecElementID, RuntimeElementID} {
-		if old := doc.ByID(id); old != nil && old.Parent != nil {
+		for {
+			old := doc.ByID(id)
+			if old == nil || old.Parent == nil {
+				break
+			}
 			old.Parent.RemoveChild(old)
 		}
 	}
@@ -46,10 +53,15 @@ func InjectSpec(doc *htmlx.Node, spec params.PageLoadSpec) error {
 	if err != nil {
 		return fmt.Errorf("pageload: encoding spec: %w", err)
 	}
+	// A "</" inside the JSON (e.g. a selector containing "</script>")
+	// would terminate the raw-text script element when the rendered page
+	// is re-parsed. Escaping the solidus is byte-different but
+	// JSON-identical, so ExtractSpec decodes the same schedule.
+	safe := strings.ReplaceAll(string(data), "</", `<\/`)
 	specEl := htmlx.NewElement("script")
 	specEl.SetAttr("id", SpecElementID)
 	specEl.SetAttr("type", "application/json")
-	specEl.AppendChild(htmlx.NewText(string(data)))
+	specEl.AppendChild(htmlx.NewText(safe))
 
 	runtime := htmlx.NewElement("script")
 	runtime.SetAttr("id", RuntimeElementID)

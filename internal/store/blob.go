@@ -1,6 +1,8 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -12,19 +14,60 @@ import (
 	"kaleidoscope/internal/webgen"
 )
 
+// casDir is the reserved prefix holding content-addressed payloads on the
+// directory backend. Logical keys may not start with it.
+const casDir = ".cas"
+
+// BlobStats are cumulative, per-process counters for a BlobStore. They are
+// approximations of disk state across restarts (a fresh process starts from
+// zero even over a populated directory) but exact for a single run, which
+// is what the dedup regression tests and obs gauges consume.
+type BlobStats struct {
+	// Puts counts logical blob writes (Put and PutCAS).
+	Puts int64
+	// CASPuts counts writes routed through PutCAS.
+	CASPuts int64
+	// DedupHits counts PutCAS writes satisfied by an already-stored payload.
+	DedupHits int64
+	// BytesSaved totals payload bytes not rewritten thanks to dedup.
+	BytesSaved int64
+	// UniqueBlobs is the number of distinct live content-addressed payloads.
+	UniqueBlobs int64
+}
+
 // BlobStore holds the integrated-webpage files the core server serves to
 // participants. The paper stores them under a folder named after the test
 // id; this store mirrors that layout (testID/pageName/path) and supports
 // both in-memory and directory-backed operation.
+//
+// On top of the plain key/value API the store offers a content-addressed
+// layer (PutCAS): payloads are identified by the SHA-256 of their bytes,
+// stored once, and logical keys reference them — in memory by sharing the
+// backing slice, on disk by hard-linking the logical path to
+// .cas/<sha256>. Get and List are oblivious to which API stored a key.
 type BlobStore struct {
-	mu  sync.RWMutex
-	dir string // "" = memory-only
-	mem map[string][]byte
+	mu    sync.RWMutex
+	dir   string // "" = memory-only
+	mem   map[string][]byte
+	refs  map[string]string    // logical key -> content hash (CAS-stored keys)
+	cas   map[string]*casEntry // content hash -> live payload bookkeeping
+	stats BlobStats
+}
+
+// casEntry tracks one distinct content-addressed payload.
+type casEntry struct {
+	refs int
+	size int
+	data []byte // shared payload; nil on the directory backend
 }
 
 // NewBlobStore returns a memory-backed blob store.
 func NewBlobStore() *BlobStore {
-	return &BlobStore{mem: make(map[string][]byte)}
+	return &BlobStore{
+		mem:  make(map[string][]byte),
+		refs: make(map[string]string),
+		cas:  make(map[string]*casEntry),
+	}
 }
 
 // OpenBlobStore returns a blob store persisted under dir.
@@ -35,7 +78,12 @@ func OpenBlobStore(dir string) (*BlobStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating blob dir: %w", err)
 	}
-	return &BlobStore{dir: dir, mem: make(map[string][]byte)}, nil
+	return &BlobStore{
+		dir:  dir,
+		mem:  make(map[string][]byte),
+		refs: make(map[string]string),
+		cas:  make(map[string]*casEntry),
+	}, nil
 }
 
 // ErrInvalidKey reports a blob key that would escape the store root.
@@ -51,7 +99,17 @@ func cleanKey(key string) (string, error) {
 	if clean == "." || strings.HasPrefix(clean, "../") || clean == ".." {
 		return "", ErrInvalidKey
 	}
+	if clean == casDir || strings.HasPrefix(clean, casDir+"/") {
+		return "", ErrInvalidKey
+	}
 	return clean, nil
+}
+
+// Stats returns a snapshot of the store's per-process counters.
+func (b *BlobStore) Stats() BlobStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stats
 }
 
 // Put stores data under key.
@@ -62,18 +120,170 @@ func (b *BlobStore) Put(key string, data []byte) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.stats.Puts++
 	if b.dir != "" {
 		path := filepath.Join(b.dir, filepath.FromSlash(clean))
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return fmt.Errorf("store: creating blob parent: %w", err)
 		}
+		// If the path is a hard link into the CAS area, truncating it in
+		// place would corrupt the shared payload — break the link first.
+		if _, linked := b.refs[clean]; linked {
+			_ = os.Remove(path)
+		}
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return fmt.Errorf("store: writing blob %s: %w", clean, err)
 		}
+		b.releaseLocked(clean)
 		return nil
 	}
+	b.releaseLocked(clean)
 	b.mem[clean] = append([]byte(nil), data...)
 	return nil
+}
+
+// PutCAS stores data under key through the content-addressed layer: if a
+// payload with the same SHA-256 is already stored, the key references the
+// existing copy instead of writing the bytes again. Concurrency-safe, like
+// every BlobStore method.
+func (b *BlobStore) PutCAS(key string, data []byte) error {
+	clean, err := cleanKey(key)
+	if err != nil {
+		return fmt.Errorf("%w: %q", err, key)
+	}
+	sum := sha256.Sum256(data) // hashing stays outside the lock
+	hash := hex.EncodeToString(sum[:])
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Puts++
+	b.stats.CASPuts++
+	entry, exists := b.cas[hash]
+	if exists {
+		b.stats.DedupHits++
+		b.stats.BytesSaved += int64(len(data))
+	}
+
+	if b.dir != "" {
+		casPath := filepath.Join(b.dir, casDir, hash)
+		if !exists {
+			if err := os.MkdirAll(filepath.Dir(casPath), 0o755); err != nil {
+				return fmt.Errorf("store: creating cas dir: %w", err)
+			}
+			// The payload may survive from a previous process; only write
+			// it when absent.
+			if _, statErr := os.Stat(casPath); statErr != nil {
+				if err := os.WriteFile(casPath, data, 0o644); err != nil {
+					return fmt.Errorf("store: writing cas payload %s: %w", hash, err)
+				}
+			}
+			entry = &casEntry{size: len(data)}
+			b.cas[hash] = entry
+			b.stats.UniqueBlobs++
+		}
+		path := filepath.Join(b.dir, filepath.FromSlash(clean))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("store: creating blob parent: %w", err)
+		}
+		_ = os.Remove(path) // links fail on existing targets
+		b.releaseLocked(clean)
+		if err := os.Link(casPath, path); err != nil {
+			// Filesystems without hard links fall back to a plain copy;
+			// dedup bookkeeping still applies.
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return fmt.Errorf("store: writing blob %s: %w", clean, err)
+			}
+		}
+		entry.refs++
+		b.refs[clean] = hash
+		return nil
+	}
+
+	if !exists {
+		entry = &casEntry{data: append([]byte(nil), data...), size: len(data)}
+		b.cas[hash] = entry
+		b.stats.UniqueBlobs++
+	}
+	b.releaseLocked(clean)
+	entry.refs++
+	b.refs[clean] = hash
+	b.mem[clean] = entry.data
+	return nil
+}
+
+// releaseLocked drops key's reference into the CAS layer, if any. Callers
+// hold b.mu.
+func (b *BlobStore) releaseLocked(clean string) {
+	hash, ok := b.refs[clean]
+	if !ok {
+		return
+	}
+	delete(b.refs, clean)
+	entry := b.cas[hash]
+	if entry == nil {
+		return
+	}
+	entry.refs--
+	if entry.refs <= 0 {
+		delete(b.cas, hash)
+		b.stats.UniqueBlobs--
+		if b.dir != "" {
+			// Unreferenced payloads are pruned from the CAS area; any
+			// hard-linked logical paths keep the data alive on disk.
+			_ = os.Remove(filepath.Join(b.dir, casDir, hash))
+		}
+	}
+}
+
+// Delete removes the blob stored under key. Deleting a missing key is an
+// error (ErrNotFound), matching Get.
+func (b *BlobStore) Delete(key string) error {
+	clean, err := cleanKey(key)
+	if err != nil {
+		return fmt.Errorf("%w: %q", err, key)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deleteLocked(clean)
+}
+
+// deleteLocked removes one normalized key. Callers hold b.mu.
+func (b *BlobStore) deleteLocked(clean string) error {
+	if b.dir != "" {
+		path := filepath.Join(b.dir, filepath.FromSlash(clean))
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				return fmt.Errorf("%w: %s", ErrNotFound, clean)
+			}
+			return fmt.Errorf("store: deleting blob %s: %w", clean, err)
+		}
+		b.releaseLocked(clean)
+		return nil
+	}
+	if _, ok := b.mem[clean]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, clean)
+	}
+	delete(b.mem, clean)
+	b.releaseLocked(clean)
+	return nil
+}
+
+// DeletePrefix removes every blob whose key starts with prefix and returns
+// how many were removed. Removing zero keys is not an error — the main
+// caller is failure cleanup, which must be idempotent.
+func (b *BlobStore) DeletePrefix(prefix string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys, err := b.listLocked(prefix)
+	if err != nil {
+		return 0, err
+	}
+	for _, key := range keys {
+		if err := b.deleteLocked(key); err != nil {
+			return 0, err
+		}
+	}
+	return len(keys), nil
 }
 
 // Get returns the blob stored under key.
@@ -101,17 +311,35 @@ func (b *BlobStore) Get(key string) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
-// List returns the sorted keys under the given prefix.
+// List returns the sorted keys under the given prefix. Content-addressed
+// payloads (the .cas area) are internal and never listed.
 func (b *BlobStore) List(prefix string) ([]string, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	keys, err := b.listLocked(prefix)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// listLocked collects keys under prefix, unsorted. Callers hold b.mu (read
+// or write).
+func (b *BlobStore) listLocked(prefix string) ([]string, error) {
 	prefix = strings.TrimPrefix(prefix, "/")
 	var keys []string
 	if b.dir != "" {
 		root := b.dir
 		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-			if err != nil || info.IsDir() {
+			if err != nil {
 				return err
+			}
+			if info.IsDir() {
+				if rel, relErr := filepath.Rel(root, path); relErr == nil && filepath.ToSlash(rel) == casDir {
+					return filepath.SkipDir
+				}
+				return nil
 			}
 			rel, err := filepath.Rel(root, path)
 			if err != nil {
@@ -126,14 +354,13 @@ func (b *BlobStore) List(prefix string) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: listing blobs: %w", err)
 		}
-	} else {
-		for key := range b.mem {
-			if strings.HasPrefix(key, prefix) {
-				keys = append(keys, key)
-			}
+		return keys, nil
+	}
+	for key := range b.mem {
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
 		}
 	}
-	sort.Strings(keys)
 	return keys, nil
 }
 
@@ -143,17 +370,19 @@ func siteKey(testID, pageName, rel string) string {
 }
 
 // PutSite stores every file of a site under testID/pageName/, plus a
-// marker recording the main file name so GetSite can reconstruct it.
+// marker recording the main file name so GetSite can reconstruct it. File
+// payloads go through the content-addressed layer, so sites sharing bytes
+// (the identical-pair control, repeated versions) are stored once.
 func (b *BlobStore) PutSite(testID, pageName string, site *webgen.Site) error {
 	if err := site.Validate(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := b.Put(siteKey(testID, pageName, ".main"), []byte(site.MainFile)); err != nil {
+	if err := b.PutCAS(siteKey(testID, pageName, ".main"), []byte(site.MainFile)); err != nil {
 		return err
 	}
 	for _, rel := range site.Paths() {
 		data, _ := site.Get(rel)
-		if err := b.Put(siteKey(testID, pageName, rel), data); err != nil {
+		if err := b.PutCAS(siteKey(testID, pageName, rel), data); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# cover_floor.sh PKG FLOOR [PKG FLOOR ...]
+#
+# Enforces per-package statement-coverage floors, e.g.:
+#   ./scripts/cover_floor.sh internal/aggregator 85 internal/store 80
+# Exits non-zero if any listed package is below its floor.
+set -eu
+
+status=0
+while [ "$#" -ge 2 ]; do
+    pkg=$1
+    floor=$2
+    shift 2
+    line=$(go test -cover "./$pkg/" | tail -1)
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "cover_floor: no coverage reported for $pkg: $line" >&2
+        status=1
+        continue
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p+0 >= f+0) }'; then
+        echo "cover_floor: ok   $pkg ${pct}% (floor ${floor}%)"
+    else
+        echo "cover_floor: FAIL $pkg ${pct}% below floor ${floor}%" >&2
+        status=1
+    fi
+done
+exit $status
