@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server load-smoke
 
 build:
 	$(GO) build ./...
@@ -52,3 +52,16 @@ cover-check: cover
 bench-aggregator:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare(Sequential|Parallel)$$' -benchmem -count=3 \
 		./internal/aggregator/
+
+# The PR-4 acceptance benchmark pair; record results in BENCH_server.json
+# (the incremental results engine must stay >=10x over the from-scratch
+# oracle at 10k stored sessions — see that file's notes).
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkConclude(Scratch|Incremental)' -benchmem -benchtime 10x \
+		./internal/server/
+
+# Deterministic crowd soak through the real HTTP stack with chaos on: fails
+# on any worker loss, any server status outside 200/201/409, or divergence
+# between the incremental results engine and the from-scratch oracle.
+load-smoke:
+	$(GO) run ./cmd/kscope-load -workers 12 -seed 7 -drop 0.1 -fault 0.1 -retries 15 -results-every 3

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The whole soak, in miniature: a small crowd, chaos on, oracle assertion
+// at exit. This is the same path `make load-smoke` drives in CI.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-workers", "8",
+		"-seed", "42",
+		"-concurrency", "4",
+		"-drop", "0.1",
+		"-fault", "0.1",
+		"-retries", "15",
+		"-results-every", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"8 workers",
+		"sessions: 8 completed, 0 failed",
+		"chaos:",
+		"oracle: incremental == from-scratch",
+		"POST /api/tests/{id}/sessions",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Clean-network run (no chaos), trusted crowd: no retries needed, all
+// statuses in the success set.
+func TestRunNoChaos(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-workers", "5",
+		"-seed", "7",
+		"-drop", "0",
+		"-fault", "0",
+		"-trusted",
+	}, &out)
+	if err != nil {
+		t.Fatalf("clean soak failed: %v\noutput:\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "chaos:") {
+		t.Errorf("clean run should not report chaos stats:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

@@ -1,0 +1,178 @@
+package extension
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/obs"
+	"kaleidoscope/internal/server"
+)
+
+// Fleet drives a whole crowd of simulated participants through the full
+// extension flow (download, replay, answer, upload) against one live core
+// server — the reusable session-runner behind cmd/kscope-load and the soak
+// tests. Each worker runs the exact Runner flow a single participant runs;
+// the fleet only adds bounded concurrency, per-worker deterministic RNG
+// streams, and per-worker transports (so chaos injection composes).
+type Fleet struct {
+	// BaseURL is the core server's address (e.g. a httptest.Server URL).
+	BaseURL string
+	// Answer decides every comparison (see the Answer* constructors).
+	Answer AnswerFunc
+	// Seed derives one independent RNG stream per worker (Seed + index),
+	// making each worker's produced session deterministic regardless of
+	// goroutine scheduling.
+	Seed int64
+	// Concurrency bounds simultaneously running workers (default 4).
+	Concurrency int
+	// Retries and Backoff configure each worker's client retry budget;
+	// zero values keep the client defaults.
+	Retries int
+	Backoff time.Duration
+	// Transport, when set, supplies a per-worker http.RoundTripper —
+	// typically a seeded netsim.ChaosTransport. Called once per worker.
+	Transport func(workerIndex int) http.RoundTripper
+	// Timeout is the per-worker overall HTTP client timeout (default 30s).
+	Timeout time.Duration
+	// Registry, when set, receives client retry metrics.
+	Registry *obs.Registry
+	// OnResult, when set, is called after each worker finishes (success or
+	// failure) with the number of workers completed so far. It may be
+	// called concurrently; load drivers use it to interleave results polls
+	// with the upload stream.
+	OnResult func(done int, res WorkerResult)
+}
+
+// WorkerResult is the outcome of one simulated participant.
+type WorkerResult struct {
+	Index    int
+	WorkerID string
+	Session  *server.SessionUpload // nil on failure
+	Err      error
+	Retries  int64
+	Elapsed  time.Duration
+}
+
+// FleetReport aggregates a fleet run.
+type FleetReport struct {
+	Completed int
+	Failed    int
+	Retries   int64
+	Elapsed   time.Duration
+	// Errs holds the first few failures, for diagnostics.
+	Errs []error
+}
+
+// workerSeedStride decorrelates per-worker RNG streams derived from one
+// base seed.
+const workerSeedStride = 1_000_003
+
+// Run drives every worker of the population through testID and blocks
+// until all have finished. The returned report is never nil; per-worker
+// failures are collected, not fatal — the caller decides whether a failed
+// session fails the run.
+func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) {
+	if f.BaseURL == "" {
+		return nil, errors.New("extension: fleet needs a base URL")
+	}
+	if f.Answer == nil {
+		return nil, errors.New("extension: fleet needs an answer function")
+	}
+	if pop == nil || len(pop.Workers) == 0 {
+		return nil, errors.New("extension: fleet needs workers")
+	}
+	concurrency := f.Concurrency
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	if concurrency > len(pop.Workers) {
+		concurrency = len(pop.Workers)
+	}
+
+	report := &FleetReport{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	indices := make(chan int)
+
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res := f.runWorker(testID, i, pop.Workers[i])
+				mu.Lock()
+				if res.Err != nil {
+					report.Failed++
+					if len(report.Errs) < 5 {
+						report.Errs = append(report.Errs, res.Err)
+					}
+				} else {
+					report.Completed++
+				}
+				report.Retries += res.Retries
+				done := report.Completed + report.Failed
+				mu.Unlock()
+				if f.OnResult != nil {
+					f.OnResult(done, res)
+				}
+			}
+		}()
+	}
+	for i := range pop.Workers {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// runWorker executes one participant's full flow.
+func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker) WorkerResult {
+	res := WorkerResult{Index: index, WorkerID: worker.ID}
+	start := time.Now()
+
+	httpc := &http.Client{Timeout: f.Timeout}
+	if httpc.Timeout == 0 {
+		httpc.Timeout = defaultTimeout
+	}
+	if f.Transport != nil {
+		httpc.Transport = f.Transport(index)
+	}
+	opts := []ClientOption{}
+	if f.Retries > 0 {
+		opts = append(opts, WithRetries(f.Retries))
+	}
+	if f.Backoff > 0 {
+		opts = append(opts, WithBackoff(f.Backoff))
+	}
+	if f.Registry != nil {
+		opts = append(opts, WithMetrics(f.Registry))
+	}
+	client, err := NewClient(f.BaseURL, httpc, opts...)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	runner := &Runner{
+		Client: client,
+		Worker: worker,
+		Answer: f.Answer,
+		RNG:    rand.New(rand.NewSource(f.Seed + int64(index)*workerSeedStride)),
+	}
+	session, err := runner.Run(testID)
+	res.Retries = client.RetryAttempts()
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("extension: worker %s (index %d): %w", worker.ID, index, err)
+		return res
+	}
+	res.Session = session
+	return res
+}

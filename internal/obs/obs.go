@@ -74,6 +74,38 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 
+// Quantile estimates the q-th quantile (0..1) from the bucket counts by
+// linear interpolation inside the bucket holding the target rank, the way
+// Prometheus's histogram_quantile does. Values in the overflow (+Inf)
+// bucket clamp to the highest finite bound; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cumulative := int64(0)
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cumulative+n) >= target && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (target - float64(cumulative)) / float64(n)
+			return lower + (bound-lower)*frac
+		}
+		cumulative += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

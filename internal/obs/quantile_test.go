@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 100 observations uniformly in (0,1]: every quantile interpolates
+	// inside the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Errorf("p50 = %v, want 0.5 (midpoint of first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1 (upper bound of first bucket)", got)
+	}
+
+	// Add 100 observations in (2,4]: p75 lands in the second populated
+	// bucket, halfway through it.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.75); got != 3 {
+		t.Errorf("p75 = %v, want 3 (midpoint of (2,4])", got)
+	}
+
+	// Overflow observations clamp to the highest finite bound.
+	over := newHistogram([]float64{1, 2})
+	over.Observe(50)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2 (highest bound)", got)
+	}
+
+	// Out-of-range q is clamped, not NaN.
+	if got := h.Quantile(-1); math.IsNaN(got) || got < 0 {
+		t.Errorf("q=-1 -> %v", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("q=2 -> %v, want same as q=1", got)
+	}
+}
+
+// Quantiles are monotone in q and bounded by the bucket range.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := newHistogram(DefLatencyBuckets)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%.2f -> %v after %v", q, v, prev)
+		}
+		if v < 0 || v > DefLatencyBuckets[len(DefLatencyBuckets)-1] {
+			t.Fatalf("quantile out of range: %v", v)
+		}
+		prev = v
+	}
+}

@@ -154,6 +154,12 @@ func majorityAnswers(sessions []WorkerSession, minPeers int) map[questionKey]que
 	return out
 }
 
+// minCheckedForMajority is how many of a worker's answers must have a
+// majority to compare with before the crowd-wisdom check applies — a
+// single contested answer is legitimate disagreement, not spam (minority
+// opinions on one-question tests must survive).
+const minCheckedForMajority = 3
+
 // evaluate runs every check on one session.
 func evaluate(s WorkerSession, cfg Config, majority map[questionKey]questionnaire.Choice) Verdict {
 	v := Verdict{WorkerID: s.WorkerID, Passed: true}
@@ -203,11 +209,7 @@ func evaluate(s WorkerSession, cfg Config, majority map[questionKey]questionnair
 		fail("failed %d control questions (allowed %d)", failures, cfg.MaxControlFailures)
 	}
 
-	// Crowd wisdom. A worker is only judged against the majority when
-	// enough of their answers have a majority to compare with — a single
-	// contested answer is legitimate disagreement, not spam (minority
-	// opinions on one-question tests must survive).
-	const minCheckedForMajority = 3
+	// Crowd wisdom.
 	if cfg.MajorityDeviation > 0 && len(majority) > 0 {
 		checked, deviated := 0, 0
 		for _, r := range s.Responses {

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kaleidoscope/internal/quality"
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/store"
+)
+
+// resultsAccumulator is the incremental results engine: per-test streaming
+// state — raw per-page tallies, per-worker QC features, per-question vote
+// counts — maintained O(1) per response at session-upload time (driven by
+// the responses collection's change feed), so a results request is served
+// from live state instead of re-reading and re-tallying every stored
+// session.
+//
+// The from-scratch Conclude stays untouched as the differential oracle
+// (the same pattern as the aggregator's WithSequential): for any test at
+// any point, results() must deep-equal Conclude with the same battery.
+// Custom quality configs never reach the accumulator — they go through the
+// oracle.
+//
+// Consistency contract with the serving cache's generation counters: the
+// accumulator is updated in the store's OnChange hook *before* the cache
+// generation for the test is bumped (see New). A reader that snapshots the
+// generation and then reads the accumulator therefore sees state at least
+// as new as the snapshot — a result computed from it may be cached under
+// that generation without ever pinning data older than the generation it
+// claims.
+type resultsAccumulator struct {
+	mu    sync.Mutex
+	tests map[string]*testAccum
+
+	// Counters exported as gauges when observability is on.
+	applied       atomic.Int64 // sessions folded in incrementally
+	rebuilds      atomic.Int64 // full rebuilds from storage
+	invalidations atomic.Int64 // tests dropped back to lazy state
+	sessions      atomic.Int64 // sessions currently held across tests
+}
+
+// workerAccum is one stored session reduced to what serving needs: the raw
+// document payload (to detect overwrites) and the extracted QC features
+// (which also carry the response keys for tallying).
+type workerAccum struct {
+	raw   string
+	feats quality.Features
+}
+
+// testAccum is the live state for one test.
+type testAccum struct {
+	// order holds the session document ids sorted ascending — exactly the
+	// order FindEq returns them in, which is the order the oracle's
+	// Conclude sees sessions and emits KeptWorkers.
+	order   []string
+	workers map[string]*workerAccum
+	// tallies are the raw (unfiltered) per-page counts over all sessions.
+	tallies map[string]*questionnaire.Tally
+	// votes feed the majority (crowd-wisdom) check without revisiting
+	// sessions.
+	votes *quality.Votes
+}
+
+func newResultsAccumulator() *resultsAccumulator {
+	return &resultsAccumulator{tests: make(map[string]*testAccum)}
+}
+
+// observe is the change-feed entry point, called on the mutating goroutine
+// after a responses-collection mutation commits. Deletes and overwrites
+// drop the test back to lazy state (the next results request rebuilds);
+// inserts for tests with live state are folded in incrementally. Events
+// for tests without live state are ignored — the state is built on first
+// use from storage, which already contains those documents.
+func (a *resultsAccumulator) observe(op, docID, testID string, coll *store.Collection) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ta, ok := a.tests[testID]
+	if !ok {
+		return
+	}
+	if op != store.OpPut {
+		a.invalidateLocked(testID, ta)
+		return
+	}
+	doc, err := coll.Get(docID)
+	if err != nil {
+		a.invalidateLocked(testID, ta)
+		return
+	}
+	raw, _ := doc["session"].(string)
+	if existing, ok := ta.workers[docID]; ok {
+		if existing.raw == raw {
+			return // replayed event for a session already folded in
+		}
+		// Overwrite of a stored session (only possible through direct
+		// store access): incremental removal isn't supported, rebuild.
+		a.invalidateLocked(testID, ta)
+		return
+	}
+	var upload SessionUpload
+	if err := json.Unmarshal([]byte(raw), &upload); err != nil {
+		// Corrupt document: drop to lazy state so the rebuild surfaces
+		// the same storage-fault error the oracle reports.
+		a.invalidateLocked(testID, ta)
+		return
+	}
+	ta.add(docID, raw, upload)
+	a.applied.Add(1)
+	a.sessions.Add(1)
+}
+
+// invalidate drops one test's live state.
+func (a *resultsAccumulator) invalidate(testID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ta, ok := a.tests[testID]; ok {
+		a.invalidateLocked(testID, ta)
+	}
+}
+
+// invalidateAll drops every test's live state (unattributable change).
+func (a *resultsAccumulator) invalidateAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, ta := range a.tests {
+		a.invalidateLocked(id, ta)
+	}
+}
+
+func (a *resultsAccumulator) invalidateLocked(testID string, ta *testAccum) {
+	a.sessions.Add(-int64(len(ta.order)))
+	a.invalidations.Add(1)
+	delete(a.tests, testID)
+}
+
+// add folds one decoded session into the live state.
+func (ta *testAccum) add(docID, raw string, upload SessionUpload) {
+	feats := quality.ExtractFeatures(quality.WorkerSession{
+		WorkerID:  upload.WorkerID,
+		Responses: upload.Responses,
+		Behaviors: upload.Behaviors,
+		Controls:  upload.Controls,
+	})
+	i := sort.SearchStrings(ta.order, docID)
+	ta.order = append(ta.order, "")
+	copy(ta.order[i+1:], ta.order[i:])
+	ta.order[i] = docID
+	ta.workers[docID] = &workerAccum{raw: raw, feats: feats}
+	for _, r := range feats.Responses {
+		t, ok := ta.tallies[r.PageID]
+		if !ok {
+			t = &questionnaire.Tally{}
+			ta.tallies[r.PageID] = t
+		}
+		t.Add(r.Choice)
+	}
+	ta.votes.Add(feats.Responses)
+}
+
+// loadLocked returns the live state for a test, building it from storage
+// on first use. Change events raced during the build are harmless: the
+// build reads committed documents, and a replayed insert event for a
+// document already folded in is deduplicated by id and payload in observe.
+func (a *resultsAccumulator) loadLocked(testID string, coll *store.Collection) (*testAccum, error) {
+	if ta, ok := a.tests[testID]; ok {
+		return ta, nil
+	}
+	ta := &testAccum{
+		workers: make(map[string]*workerAccum),
+		tallies: make(map[string]*questionnaire.Tally),
+		votes:   quality.NewVotes(),
+	}
+	for _, doc := range coll.FindEq("test_id", testID) {
+		raw, _ := doc["session"].(string)
+		var upload SessionUpload
+		if err := json.Unmarshal([]byte(raw), &upload); err != nil {
+			return nil, fmt.Errorf("server: corrupt session %s: %w", doc.ID(), err)
+		}
+		ta.add(doc.ID(), raw, upload)
+	}
+	a.tests[testID] = ta
+	a.rebuilds.Add(1)
+	a.sessions.Add(int64(len(ta.order)))
+	return ta, nil
+}
+
+// results serves a conclusion from live state. It must produce exactly
+// what the oracle produces: same worker counts, same kept-worker order
+// (session-document-id order), same tallies, same page order, and the
+// same Filtered quirk (false when quality control is requested but no
+// sessions exist).
+func (a *resultsAccumulator) results(testID string, entry *testEntry, useQC bool, coll *store.Collection) (*Results, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ta, err := a.loadLocked(testID, coll)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Results{TestID: testID, Workers: len(ta.order)}
+	tallies := ta.tallies
+	if useQC && len(ta.order) > 0 {
+		cfg := *defaultQC(entry)
+		majority := ta.votes.Majority(cfg.MinPeersForMajority)
+		tallies = make(map[string]*questionnaire.Tally)
+		kept := 0
+		for _, docID := range ta.order {
+			w := ta.workers[docID]
+			if !w.feats.Evaluate(cfg, majority).Passed {
+				continue
+			}
+			kept++
+			res.KeptWorkers = append(res.KeptWorkers, w.feats.WorkerID)
+			for _, r := range w.feats.Responses {
+				t, ok := tallies[r.PageID]
+				if !ok {
+					t = &questionnaire.Tally{}
+					tallies[r.PageID] = t
+				}
+				t.Add(r.Choice)
+			}
+		}
+		res.Filtered = true
+		res.DroppedWorkers = len(ta.order) - kept
+		res.Workers = kept
+	}
+	for _, p := range entry.info.Pages {
+		pr := PageResult{PageID: p.ID, LeftName: p.LeftName, RightName: p.RightName, Kind: p.Kind}
+		if t, ok := tallies[p.ID]; ok {
+			pr.Tally = *t
+		}
+		res.Pages = append(res.Pages, pr)
+	}
+	return res, nil
+}
+
+// registerGauges exports the accumulator's live-state statistics.
+func (a *resultsAccumulator) registerGauges(s *Server) {
+	s.reg.RegisterGauge("kscope_accum_tests", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(len(a.tests))
+	})
+	s.reg.RegisterGauge("kscope_accum_sessions", func() float64 {
+		return float64(a.sessions.Load())
+	})
+	s.reg.RegisterGauge("kscope_accum_applied_total", func() float64 {
+		return float64(a.applied.Load())
+	})
+	s.reg.RegisterGauge("kscope_accum_rebuilds_total", func() float64 {
+		return float64(a.rebuilds.Load())
+	})
+	s.reg.RegisterGauge("kscope_accum_invalidations_total", func() float64 {
+		return float64(a.invalidations.Load())
+	})
+}

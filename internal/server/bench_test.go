@@ -83,6 +83,79 @@ func BenchmarkConclude10kResponses(b *testing.B) {
 	}
 }
 
+// seedSessions inserts n synthetic sessions for srv-test directly into the
+// responses collection (bypassing HTTP, so fixture setup stays cheap at 10k).
+func seedSessions(b *testing.B, srv *Server, prep *aggregator.Prepared, n int) {
+	b.Helper()
+	responses := srv.db.Collection(aggregator.ResponsesCollection)
+	choices := []questionnaire.Choice{questionnaire.ChoiceLeft, questionnaire.ChoiceRight, questionnaire.ChoiceSame}
+	for i := 0; i < n; i++ {
+		up := sampleUpload(prep, fmt.Sprintf("w%05d", i), choices[i%len(choices)])
+		raw, _ := json.Marshal(up)
+		if _, err := responses.Insert(store.Document{
+			store.IDField: "srv-test/" + up.WorkerID,
+			"test_id":     "srv-test",
+			"worker_id":   up.WorkerID,
+			"session":     string(raw),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcludeScratch is the oracle cost: every iteration re-reads and
+// re-decodes every stored session before filtering — the price the serving
+// path paid per results request before the incremental engine.
+func BenchmarkConcludeScratch(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			srv, prep := prepTest(b)
+			seedSessions(b, srv, prep, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := srv.ConcludeScratch("srv-test", true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Filtered {
+					b.Fatal("expected quality-controlled results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcludeIncremental measures the same quality-controlled results
+// served from the live accumulator: the streaming state was folded in at
+// upload time, so each conclusion re-evaluates cheap per-worker features
+// instead of decoding n session payloads. The cache is generation-bumped
+// every iteration (as a fresh upload would), so this times the accumulator
+// path, not a memoized map read.
+func BenchmarkConcludeIncremental(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			srv, prep := prepTest(b)
+			seedSessions(b, srv, prep, n)
+			// Warm the accumulator: first conclusion does the one-time
+			// rebuild from storage.
+			if _, err := srv.concludeCached("srv-test", true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.cache.invalidateSessions("srv-test")
+				res, err := srv.concludeCached("srv-test", true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Filtered {
+					b.Fatal("expected quality-controlled results")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLoadInfoCached measures the repeated-loadInfo path: after the
 // first assembly the per-request cost is one cache read, not a params_json
 // re-parse.

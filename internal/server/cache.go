@@ -142,13 +142,17 @@ func (c *servingCache) resultsFor(key resultsKey) (*Results, bool) {
 	return r, ok
 }
 
-func (c *servingCache) putResults(key resultsKey, gen uint64, r *Results) {
+// putResults caches a computed conclusion and reports whether it was
+// accepted; a fill computed against a superseded generation is rejected so
+// the cache never claims a generation newer than the data it serves.
+func (c *servingCache) putResults(key resultsKey, gen uint64, r *Results) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gens[key.testID] != gen {
-		return
+		return false
 	}
 	c.results[key] = r
+	return true
 }
 
 // invalidateTest drops everything derived from a test's stored documents.

@@ -43,7 +43,10 @@ type Server struct {
 	blobs *store.BlobStore
 	mux   *http.ServeMux
 	cache *servingCache
-	reg   *obs.Registry // nil when observability is off
+	accum *resultsAccumulator // nil when WithScratchResults is set
+	reg   *obs.Registry       // nil when observability is off
+
+	scratchOnly bool
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -59,6 +62,14 @@ func WithObservability(reg *obs.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
+// WithScratchResults disables the incremental results engine: every
+// results request re-reads and re-tallies the stored sessions. This is the
+// reference serving mode the incremental engine is differentially tested
+// (and benchmarked) against.
+func WithScratchResults() Option {
+	return func(s *Server) { s.scratchOnly = true }
+}
+
 // New wires a server over prepared storage. It declares the secondary
 // indexes the serving path relies on and subscribes to store changes for
 // cache invalidation.
@@ -69,6 +80,9 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	s := &Server{db: db, blobs: blobs, mux: http.NewServeMux(), cache: newServingCache()}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if !s.scratchOnly {
+		s.accum = newResultsAccumulator()
 	}
 	s.mux.HandleFunc("GET /api/tests", s.handleListTests)
 	s.mux.HandleFunc("GET /api/tests/{id}", s.handleTestInfo)
@@ -97,8 +111,24 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	db.Collection(aggregator.PagesCollection).OnChange(func(_, id string) {
 		s.invalidateByPrefixedID(id, s.cache.invalidateTest)
 	})
-	responses.OnChange(func(_, id string) {
-		s.invalidateByPrefixedID(id, s.cache.invalidateSessions)
+	responses.OnChange(func(op, id string) {
+		testID, _, ok := strings.Cut(id, "/")
+		if !ok {
+			if s.accum != nil {
+				s.accum.invalidateAll()
+			}
+			s.cache.invalidateAll()
+			return
+		}
+		// Fold the session into the accumulator before bumping the cache
+		// generation: a reader that snapshots the generation and then
+		// reads the accumulator sees state at least as new as the
+		// snapshot, so results cached under that generation are never
+		// older than the generation they claim.
+		if s.accum != nil {
+			s.accum.observe(op, id, testID, responses)
+		}
+		s.cache.invalidateSessions(testID)
 	})
 
 	if s.reg != nil {
@@ -122,6 +152,9 @@ func (s *Server) invalidateByPrefixedID(id string, invalidate func(string)) {
 
 // registerGauges exports cache and store read-path statistics.
 func (s *Server) registerGauges() {
+	if s.accum != nil {
+		s.accum.registerGauges(s)
+	}
 	reg, cache := s.reg, s.cache
 	for _, g := range []struct {
 		name         string
@@ -534,8 +567,11 @@ func defaultQC(entry *testEntry) *quality.Config {
 	return &cfg
 }
 
-// Conclude computes results for a test, optionally applying quality
-// control with the given config (nil = raw results).
+// Conclude computes results for a test from its stored sessions,
+// optionally applying quality control with the given config (nil = raw
+// results). This is the from-scratch reference the incremental engine is
+// differentially tested against; custom quality configs always take this
+// path.
 func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
 	entry, err := s.load(testID)
 	if err != nil {
@@ -545,6 +581,38 @@ func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	return concludeFrom(testID, entry, uploads, qc)
+}
+
+// ConcludeScratch recomputes results directly from storage, bypassing both
+// the serving cache and the incremental accumulator — the differential
+// oracle the load harness and benchmarks compare the incremental serving
+// path against. useQC selects the same default battery the HTTP results
+// surface applies for ?quality=1.
+func (s *Server) ConcludeScratch(testID string, useQC bool) (*Results, error) {
+	entry, err := s.load(testID)
+	if err != nil {
+		return nil, err
+	}
+	docs := s.db.Collection(aggregator.ResponsesCollection).FindEq("test_id", testID)
+	uploads := make([]SessionUpload, 0, len(docs))
+	for _, doc := range docs {
+		raw, _ := doc["session"].(string)
+		var upload SessionUpload
+		if err := json.Unmarshal([]byte(raw), &upload); err != nil {
+			return nil, fmt.Errorf("server: corrupt session %s: %w", doc.ID(), err)
+		}
+		uploads = append(uploads, upload)
+	}
+	var qc *quality.Config
+	if useQC {
+		qc = defaultQC(entry)
+	}
+	return concludeFrom(testID, entry, uploads, qc)
+}
+
+// concludeFrom tallies a conclusion from decoded sessions.
+func concludeFrom(testID string, entry *testEntry, uploads []SessionUpload, qc *quality.Config) (*Results, error) {
 	res := &Results{TestID: testID, Workers: len(uploads)}
 
 	sessions := make([]quality.WorkerSession, len(uploads))
@@ -592,29 +660,52 @@ func (s *Server) Conclude(testID string, qc *quality.Config) (*Results, error) {
 }
 
 // concludeCached serves the HTTP results surface: raw and default-battery
-// conclusions are cached per test until a new session arrives. Custom
-// quality configs (only reachable through the Conclude API) bypass the
-// cache, which is why the key is just (test, quality-on).
+// conclusions are cached per test until a new session arrives, and cache
+// misses are computed from the incremental accumulator (or from scratch
+// under WithScratchResults). Custom quality configs (only reachable
+// through the Conclude API) bypass the cache, which is why the key is just
+// (test, quality-on).
+//
+// Freshness invariant: the generation is snapshotted before anything is
+// read, so every read observes state at least as new as the snapshot and
+// putResults can never pin results older than the generation they are
+// cached under. When an upload races the fill, putResults rejects the
+// (still perfectly valid) result; one bounded recompute re-attempts the
+// fill from the newer state so interleaved upload/results traffic does not
+// degrade into a permanently cold results cache.
 func (s *Server) concludeCached(testID string, useQC bool) (*Results, error) {
 	key := resultsKey{testID: testID, quality: useQC}
 	if res, ok := s.cache.resultsFor(key); ok {
 		return res, nil
 	}
-	gen := s.cache.gen(testID)
-	entry, err := s.load(testID)
-	if err != nil {
-		return nil, err
+	var res *Results
+	for attempt := 0; attempt < 2; attempt++ {
+		gen := s.cache.gen(testID)
+		entry, err := s.load(testID)
+		if err != nil {
+			return nil, err
+		}
+		if s.accum != nil {
+			res, err = s.accum.results(testID, entry, useQC, s.db.Collection(aggregator.ResponsesCollection))
+		} else {
+			res, err = s.Conclude(testID, concludeConfig(entry, useQC))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.cache.putResults(key, gen, res) {
+			break
+		}
 	}
-	var qc *quality.Config
-	if useQC {
-		qc = defaultQC(entry)
-	}
-	res, err := s.Conclude(testID, qc)
-	if err != nil {
-		return nil, err
-	}
-	s.cache.putResults(key, gen, res)
 	return res, nil
+}
+
+// concludeConfig maps the HTTP surface's quality flag onto the battery.
+func concludeConfig(entry *testEntry, useQC bool) *quality.Config {
+	if !useQC {
+		return nil
+	}
+	return defaultQC(entry)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
