@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server load-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server load-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -42,9 +42,10 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Coverage floors on the preparation pipeline's load-bearing packages.
+# Coverage floors on the preparation pipeline's load-bearing packages and
+# the overload guard.
 cover-check: cover
-	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80
+	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80 internal/guard 80
 
 # The PR-3 acceptance benchmark pair; record results in
 # BENCH_aggregator.json (on >=4 cores the parallel pipeline should show
@@ -65,3 +66,10 @@ bench-server:
 # between the incremental results engine and the from-scratch oracle.
 load-smoke:
 	$(GO) run ./cmd/kscope-load -workers 12 -seed 7 -drop 0.1 -fault 0.1 -retries 15 -results-every 3
+
+# Overload-resilience acceptance: saturated admission must shed 429 +
+# Retry-After, a mid-run disk outage must trip the store breaker into
+# degraded serving (X-Kscope-Degraded on cached reads), and the run must
+# still end with zero lost workers and oracle-equal results.
+overload-smoke:
+	$(GO) run ./cmd/kscope-load -scenario overload -workers 15 -seed 7 -drop 0.05 -fault 0.05

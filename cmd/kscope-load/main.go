@@ -15,6 +15,13 @@
 //
 // The last check is the point: the soak is a differential test of the
 // incremental results engine under concurrent, fault-riddled traffic.
+//
+// -scenario overload runs the overload-resilience acceptance instead: the
+// server gets a deliberately tiny admission limit and a fault-injectable
+// store, a read stampede must shed with 429 + Retry-After, a mid-run disk
+// outage must trip the store circuit breaker into degraded serving
+// (cached reads marked X-Kscope-Degraded: 1), and after the disk heals the
+// run must still end with zero lost workers and oracle-equal results.
 package main
 
 import (
@@ -54,6 +61,7 @@ func main() {
 }
 
 type config struct {
+	scenario     string
 	workers      int
 	seed         int64
 	concurrency  int
@@ -67,6 +75,7 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd) or overload (saturate admission control and force the store breaker open)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -79,7 +88,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return soak(cfg, out)
+	switch cfg.scenario {
+	case "soak":
+		return soak(cfg, out)
+	case "overload":
+		return overload(cfg, out)
+	default:
+		return fmt.Errorf("unknown -scenario %q (want soak or overload)", cfg.scenario)
+	}
 }
 
 func soak(cfg config, out io.Writer) error {
@@ -301,10 +317,12 @@ func printLatencies(out io.Writer, reg *obs.Registry) {
 }
 
 // statusTable counts responses by status code at the listener, after any
-// chaos injection — these are statuses the server itself produced.
+// chaos injection — these are statuses the server itself produced. It also
+// audits the shed contract: every 429/503 must carry Retry-After.
 type statusTable struct {
-	mu     sync.Mutex
-	counts map[int]int64
+	mu              sync.Mutex
+	counts          map[int]int64
+	missingRetryAft int64
 }
 
 func (s *statusTable) wrap(next http.Handler) http.Handler {
@@ -316,8 +334,20 @@ func (s *statusTable) wrap(next http.Handler) http.Handler {
 			s.counts = make(map[int]int64)
 		}
 		s.counts[rec.status]++
+		if (rec.status == http.StatusTooManyRequests || rec.status == http.StatusServiceUnavailable) &&
+			rec.Header().Get("Retry-After") == "" {
+			s.missingRetryAft++
+		}
 		s.mu.Unlock()
 	})
+}
+
+// retryAfterViolations reports how many 429/503 responses lacked the
+// Retry-After header the shed contract promises.
+func (s *statusTable) retryAfterViolations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.missingRetryAft
 }
 
 func (s *statusTable) print(out io.Writer) {
@@ -335,17 +365,24 @@ func (s *statusTable) print(out io.Writer) {
 	fmt.Fprintln(out)
 }
 
-// unexpected returns any status the soak considers a real server failure.
-// 200/201 are success, 409 is the idempotent duplicate-upload answer a
-// retried upload legitimately produces.
-func (s *statusTable) unexpected() []string {
+// unexpected returns any status the scenario considers a real server
+// failure. 200/201 are success, 409 is the idempotent duplicate-upload
+// answer a retried upload legitimately produces; scenarios running against
+// an overload guard additionally allow its shed statuses via extra.
+func (s *statusTable) unexpected(extra ...int) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	allowed := map[int]bool{
+		http.StatusOK:       true,
+		http.StatusCreated:  true,
+		http.StatusConflict: true,
+	}
+	for _, code := range extra {
+		allowed[code] = true
+	}
 	var bad []string
 	for code, n := range s.counts {
-		switch code {
-		case http.StatusOK, http.StatusCreated, http.StatusConflict:
-		default:
+		if !allowed[code] {
 			bad = append(bad, strconv.Itoa(code)+"×"+strconv.FormatInt(n, 10))
 		}
 	}

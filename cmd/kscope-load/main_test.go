@@ -59,4 +59,44 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Fatal("unknown flag should error")
 	}
+	if err := run([]string{"-scenario", "mystery"}, &out); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	if err := run([]string{"-scenario", "overload", "-workers", "6"}, &out); err == nil {
+		t.Fatal("overload with too few workers should error")
+	}
+}
+
+// The overload acceptance, in miniature: a saturated admission stampede,
+// a mid-run disk outage that trips the breaker into degraded mode, full
+// recovery, and the oracle assertion — the same path `make overload-smoke`
+// drives in CI.
+func TestRunOverloadSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-scenario", "overload",
+		"-workers", "15",
+		"-seed", "42",
+		"-concurrency", "8",
+		"-drop", "0.05",
+		"-fault", "0.05",
+	}, &out)
+	if err != nil {
+		t.Fatalf("overload failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"15 workers",
+		"sessions: 15 completed, 0 failed",
+		"breaker trips",
+		"breaker now closed",
+		"oracle: incremental == from-scratch",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "429×") || !strings.Contains(got, "503×") {
+		t.Errorf("status table should show both shed statuses:\n%s", got)
+	}
 }

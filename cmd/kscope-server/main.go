@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"kaleidoscope/internal/guard"
 	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/server"
 	"kaleidoscope/internal/store"
@@ -50,10 +51,16 @@ func run(args []string) error {
 	storeDir := fs.String("store", "", "storage directory prepared by kscope (required)")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	drain := fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "max time to write a response (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time (0 disables)")
+	maxInflight := fs.Int("max-inflight", 64, "admission-control base concurrency K (uploads get K, reads 4K, results K/4; 0 disables the guard)")
+	rate := fs.Float64("rate", 0, "per-worker request rate limit in req/s (0 disables rate limiting)")
+	burst := fs.Float64("burst", 0, "per-worker rate-limit burst (default 2x rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	handler, cleanup, err := buildHandler(*storeDir, *quiet)
+	handler, cleanup, err := buildHandler(*storeDir, *quiet, guardConfig(*maxInflight, *rate, *burst))
 	if err != nil {
 		return err
 	}
@@ -66,6 +73,9 @@ func run(args []string) error {
 	httpServer := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,10 +111,24 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	return nil
 }
 
-// buildHandler wires the core server (with metrics and request logging)
-// over a prepared storage directory and returns a cleanup closing the
-// database.
-func buildHandler(storeDir string, quiet bool) (http.Handler, func(), error) {
+// guardConfig maps the -max-inflight/-rate/-burst flag trio onto a guard
+// configuration; a non-positive max-inflight disables the guard entirely
+// (the pre-guard serving behavior).
+func guardConfig(maxInflight int, rate, burst float64) *guard.Config {
+	if maxInflight <= 0 {
+		return nil
+	}
+	cfg := &guard.Config{MaxInflight: maxInflight, Rate: rate, Burst: burst}
+	if rate > 0 && burst <= 0 {
+		cfg.Burst = 2 * rate
+	}
+	return cfg
+}
+
+// buildHandler wires the core server (with metrics, request logging, and —
+// unless disabled — the overload guard) over a prepared storage directory
+// and returns a cleanup closing the database.
+func buildHandler(storeDir string, quiet bool, gcfg *guard.Config) (http.Handler, func(), error) {
 	if storeDir == "" {
 		return nil, nil, fmt.Errorf("-store is required")
 	}
@@ -118,7 +142,13 @@ func buildHandler(storeDir string, quiet bool) (http.Handler, func(), error) {
 		return nil, nil, err
 	}
 	reg := obs.NewRegistry()
-	srv, err := server.New(db, blobs, server.WithObservability(reg))
+	opts := []server.Option{server.WithObservability(reg)}
+	if gcfg != nil {
+		g := guard.New(*gcfg)
+		g.RegisterMetrics(reg)
+		opts = append(opts, server.WithGuard(g))
+	}
+	srv, err := server.New(db, blobs, opts...)
 	if err != nil {
 		db.Close()
 		return nil, nil, err

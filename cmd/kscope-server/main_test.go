@@ -20,8 +20,21 @@ import (
 )
 
 func TestBuildHandlerValidation(t *testing.T) {
-	if _, _, err := buildHandler("", true); err == nil {
+	if _, _, err := buildHandler("", true, nil); err == nil {
 		t.Error("empty store dir should fail")
+	}
+}
+
+func TestGuardConfigFlags(t *testing.T) {
+	if guardConfig(0, 5, 0) != nil {
+		t.Error("max-inflight 0 must disable the guard")
+	}
+	cfg := guardConfig(32, 5, 0)
+	if cfg == nil || cfg.MaxInflight != 32 || cfg.Rate != 5 || cfg.Burst != 10 {
+		t.Errorf("guardConfig(32, 5, 0) = %+v, want burst defaulted to 2x rate", cfg)
+	}
+	if cfg := guardConfig(32, 5, 3); cfg.Burst != 3 {
+		t.Errorf("explicit burst overridden: %+v", cfg)
 	}
 }
 
@@ -63,7 +76,7 @@ func prepareStore(t *testing.T) string {
 
 func TestBuildServerServesPreparedStore(t *testing.T) {
 	dir := prepareStore(t)
-	srv, cleanup, err := buildHandler(dir, true)
+	srv, cleanup, err := buildHandler(dir, true, guardConfig(64, 0, 0))
 	if err != nil {
 		t.Fatalf("buildHandler: %v", err)
 	}
@@ -106,10 +119,22 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 		"kscope_store_fsyncs",
 		"kscope_store_fsync_seconds_total",
 		"kscope_http_inflight_requests 1", // the /metrics request itself
+		"kscope_guard_breaker_state 0",
+		"kscope_guard_shed_total",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+
+	// The guarded server exposes readiness.
+	rresp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", rresp.StatusCode)
 	}
 }
 
@@ -120,7 +145,7 @@ func TestBuildServerServesPreparedStore(t *testing.T) {
 // on disk after the store closes.
 func TestServeDrainsInFlightUploads(t *testing.T) {
 	dir := prepareStore(t)
-	handler, cleanup, err := buildHandler(dir, true)
+	handler, cleanup, err := buildHandler(dir, true, guardConfig(64, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

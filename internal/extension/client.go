@@ -19,17 +19,26 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"kaleidoscope/internal/guard"
 	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/server"
 )
 
+// WorkerIDHeader is the per-worker identity header the server's rate
+// limiter keys on (re-exported from the guard package for callers).
+const WorkerIDHeader = guard.WorkerIDHeader
+
 // Client is the extension's HTTP side. Idempotent GETs and the session
 // upload (idempotent by worker id) are retried with jittered exponential
-// backoff on transport errors and 5xx responses, as a real extension facing
-// a flaky participant connection must be.
+// backoff on transport errors, 5xx responses, and 429 overload sheds, as a
+// real extension facing a flaky participant connection and a busy server
+// must be. When a 429/503 carries a Retry-After header the client honors
+// the server's delay (capped at maxRetryAfter) instead of its own backoff.
 type Client struct {
 	baseURL string
 	httpc   *http.Client
@@ -38,17 +47,26 @@ type Client struct {
 	// backoff is the base delay before the first retry; it doubles per
 	// attempt (capped) with ±50% jitter.
 	backoff time.Duration
-	reg     *obs.Registry
+	// maxRetryAfter caps how long a server-supplied Retry-After may make
+	// the client wait (a misconfigured or hostile server must not park an
+	// extension for an hour).
+	maxRetryAfter time.Duration
+	// workerID, when set, is sent as the X-Kscope-Worker header so the
+	// server's per-worker rate limiter keys on the worker, not the NAT'd
+	// remote address.
+	workerID string
+	reg      *obs.Registry
 
 	retryAttempts atomic.Int64
 }
 
 // Defaults for the retry and transport budget.
 const (
-	defaultRetries = 2
-	defaultTimeout = 30 * time.Second
-	defaultBackoff = 50 * time.Millisecond
-	maxBackoff     = 2 * time.Second
+	defaultRetries       = 2
+	defaultTimeout       = 30 * time.Second
+	defaultBackoff       = 50 * time.Millisecond
+	maxBackoff           = 2 * time.Second
+	defaultMaxRetryAfter = 30 * time.Second
 )
 
 // MetricRetries is the obs counter for client retry attempts.
@@ -80,6 +98,22 @@ func WithMetrics(reg *obs.Registry) ClientOption {
 	return func(c *Client) { c.reg = reg }
 }
 
+// WithWorkerID identifies this client to the server's per-worker rate
+// limiter via the X-Kscope-Worker header.
+func WithWorkerID(id string) ClientOption {
+	return func(c *Client) { c.workerID = id }
+}
+
+// WithMaxRetryAfter caps the wait the client will accept from a server's
+// Retry-After header (tests use a few milliseconds).
+func WithMaxRetryAfter(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.maxRetryAfter = d
+		}
+	}
+}
+
 // NewClient returns a client for a core server at baseURL (e.g.
 // "http://127.0.0.1:8080"). A nil httpc gets a client with a sane overall
 // timeout — never http.DefaultClient, which would wait forever on a dead
@@ -92,10 +126,11 @@ func NewClient(baseURL string, httpc *http.Client, opts ...ClientOption) (*Clien
 		httpc = &http.Client{Timeout: defaultTimeout}
 	}
 	c := &Client{
-		baseURL: baseURL,
-		httpc:   httpc,
-		retries: defaultRetries,
-		backoff: defaultBackoff,
+		baseURL:       baseURL,
+		httpc:         httpc,
+		retries:       defaultRetries,
+		backoff:       defaultBackoff,
+		maxRetryAfter: defaultMaxRetryAfter,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -106,12 +141,22 @@ func NewClient(baseURL string, httpc *http.Client, opts ...ClientOption) (*Clien
 // RetryAttempts reports how many retries this client has performed.
 func (c *Client) RetryAttempts() int64 { return c.retryAttempts.Load() }
 
-// noteRetry records one retry attempt and sleeps the jittered backoff for
-// the given attempt number (1-based).
-func (c *Client) noteRetry(attempt int) {
+// noteRetry records one retry attempt and sleeps before the next one. When
+// the failed response carried a usable Retry-After, the server's delay
+// (capped at maxRetryAfter) wins over the client's own jittered exponential
+// backoff — the server knows when its overload will clear; the client does
+// not.
+func (c *Client) noteRetry(attempt int, serverDelay time.Duration) {
 	c.retryAttempts.Add(1)
 	if c.reg != nil {
 		c.reg.Counter(MetricRetries).Inc()
+	}
+	if serverDelay > 0 {
+		if serverDelay > c.maxRetryAfter {
+			serverDelay = c.maxRetryAfter
+		}
+		time.Sleep(serverDelay)
+		return
 	}
 	d := c.backoff << (attempt - 1)
 	if d > maxBackoff {
@@ -121,40 +166,80 @@ func (c *Client) noteRetry(attempt int) {
 	time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
 }
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("3") or HTTP-date ("Wed, 05 Aug 2026 09:00:00 GMT",
+// interpreted relative to now).
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// retryable reports whether a status is worth another attempt: server-side
+// trouble (5xx) or an overload shed (429). 4xx otherwise is definitive.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
 // get issues a GET with retries and decodes errors uniformly.
 func (c *Client) get(path string) ([]byte, error) {
 	var lastErr error
+	var serverDelay time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			c.noteRetry(attempt)
+			c.noteRetry(attempt, serverDelay)
 		}
-		body, status, err := c.getOnce(path)
+		body, status, retryAfter, err := c.getOnce(path)
+		serverDelay = retryAfter
 		switch {
 		case err != nil:
 			lastErr = err // transport error: retry
 		case status == http.StatusOK:
 			return body, nil
-		case status >= 500:
+		case retryable(status):
 			lastErr = fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
 		default:
-			// 4xx is definitive; do not retry.
+			// Other 4xx is definitive; do not retry.
 			return nil, fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
 		}
 	}
 	return nil, lastErr
 }
 
-func (c *Client) getOnce(path string) ([]byte, int, error) {
-	resp, err := c.httpc.Get(c.baseURL + path)
+func (c *Client) getOnce(path string) ([]byte, int, time.Duration, error) {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+path, nil)
 	if err != nil {
-		return nil, 0, fmt.Errorf("extension: GET %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("extension: GET %s: %w", path, err)
+	}
+	if c.workerID != "" {
+		req.Header.Set(WorkerIDHeader, c.workerID)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("extension: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, fmt.Errorf("extension: reading %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("extension: reading %s: %w", path, err)
 	}
-	return body, resp.StatusCode, nil
+	retryAfter, _ := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	return body, resp.StatusCode, retryAfter, nil
 }
 
 func truncate(b []byte, n int) string {
@@ -183,11 +268,11 @@ func (c *Client) FetchPageFile(testID, pageID, file string) ([]byte, error) {
 }
 
 // UploadSession posts a finished session to the core server, retrying
-// transport errors and 5xx responses with jittered backoff. The upload is
-// idempotent by worker id: a 409 means a previous attempt (perhaps one
-// whose response was lost on the wire) already stored this session, and is
-// treated as success — a participant's finished work is never lost to a
-// flaky connection.
+// transport errors, 5xx responses, and 429 sheds (honoring Retry-After
+// when given). The upload is idempotent by worker id: a 409 means a
+// previous attempt (perhaps one whose response was lost on the wire)
+// already stored this session, and is treated as success — a participant's
+// finished work is never lost to a flaky connection.
 func (c *Client) UploadSession(testID string, session server.SessionUpload) error {
 	payload, err := json.Marshal(session)
 	if err != nil {
@@ -195,16 +280,27 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 	}
 	url := c.baseURL + "/api/tests/" + testID + "/sessions"
 	var lastErr error
+	var serverDelay time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			c.noteRetry(attempt)
+			c.noteRetry(attempt, serverDelay)
+			serverDelay = 0
 		}
-		resp, err := c.httpc.Post(url, "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("extension: uploading session: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.workerID != "" {
+			req.Header.Set(WorkerIDHeader, c.workerID)
+		}
+		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: uploading session: %w", err)
 			continue
 		}
 		body, _ := io.ReadAll(resp.Body)
+		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusCreated:
@@ -212,7 +308,7 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 		case resp.StatusCode == http.StatusConflict:
 			// Duplicate by worker id: already stored.
 			return nil
-		case resp.StatusCode >= 500:
+		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
 		default:

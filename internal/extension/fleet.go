@@ -34,6 +34,10 @@ type Fleet struct {
 	// zero values keep the client defaults.
 	Retries int
 	Backoff time.Duration
+	// MaxRetryAfter caps how long a worker honors a server Retry-After
+	// hint; zero keeps the client default. Load tests set this low so a
+	// shedding server does not stretch the run by full wall-clock seconds.
+	MaxRetryAfter time.Duration
 	// Transport, when set, supplies a per-worker http.RoundTripper —
 	// typically a seeded netsim.ChaosTransport. Called once per worker.
 	Transport func(workerIndex int) http.RoundTripper
@@ -145,12 +149,15 @@ func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker) Worker
 	if f.Transport != nil {
 		httpc.Transport = f.Transport(index)
 	}
-	opts := []ClientOption{}
+	opts := []ClientOption{WithWorkerID(worker.ID)}
 	if f.Retries > 0 {
 		opts = append(opts, WithRetries(f.Retries))
 	}
 	if f.Backoff > 0 {
 		opts = append(opts, WithBackoff(f.Backoff))
+	}
+	if f.MaxRetryAfter > 0 {
+		opts = append(opts, WithMaxRetryAfter(f.MaxRetryAfter))
 	}
 	if f.Registry != nil {
 		opts = append(opts, WithMetrics(f.Registry))

@@ -1,0 +1,178 @@
+package extension
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaleidoscope/internal/server"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"3", 3 * time.Second, true},
+		{" 10 ", 10 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"", 0, false},
+		{"soon", 0, false},
+		{now.Add(2 * time.Second).Format(http.TimeFormat), 2 * time.Second, true},
+		// A date in the past means "retry now", not an error.
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// shedThenServe returns a handler that sheds the first n requests with
+// status + the given Retry-After header value, then serves 200.
+func shedThenServe(n int, status int, retryAfter func() string, hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		k := hits.Add(1)
+		if int(k) <= n {
+			w.Header().Set("Retry-After", retryAfter())
+			http.Error(w, "overloaded", status)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+}
+
+func TestClientHonorsRetryAfterSeconds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(shedThenServe(1, http.StatusTooManyRequests,
+		func() string { return "1" }, &hits))
+	defer ts.Close()
+
+	// Cap well below the advertised 1s so the test stays fast while still
+	// proving the server hint (not the 1ms backoff) drives the wait.
+	client, err := NewClient(ts.URL, nil,
+		WithBackoff(time.Millisecond), WithMaxRetryAfter(80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.get("/whatever"); err != nil {
+		t.Fatalf("get after shed: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("waited %v; the capped Retry-After (80ms) should dominate the 1ms backoff", elapsed)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hits = %d, want 2", hits.Load())
+	}
+	if client.RetryAttempts() != 1 {
+		t.Errorf("retries = %d, want 1", client.RetryAttempts())
+	}
+}
+
+func TestClientHonorsRetryAfterHTTPDate(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(shedThenServe(1, http.StatusServiceUnavailable,
+		func() string { return time.Now().Add(60 * time.Millisecond).UTC().Format(http.TimeFormat) },
+		&hits))
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL, nil, WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.get("/whatever"); err != nil {
+		t.Fatalf("get after 503: %v", err)
+	}
+	// HTTP-date granularity is whole seconds, so a +60ms deadline rounds
+	// down to "now" — the point is that the date form parses and the retry
+	// succeeds, not an exact wait.
+	if hits.Load() != 2 {
+		t.Errorf("server hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestClientCapsExcessiveRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(shedThenServe(1, http.StatusTooManyRequests,
+		func() string { return "3600" }, &hits)) // an hour, if we believed it
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL, nil,
+		WithBackoff(time.Millisecond), WithMaxRetryAfter(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.get("/whatever"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("waited %v; the cap must bound a hostile Retry-After", elapsed)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestClientRetries429Uploads(t *testing.T) {
+	// The server sheds the first upload with 429 + Retry-After, accepts the
+	// second; the worker header must arrive on every attempt.
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(WorkerIDHeader) != "retry-worker" {
+			t.Errorf("attempt %d missing worker header", hits.Load()+1)
+		}
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL, nil,
+		WithBackoff(time.Millisecond), WithMaxRetryAfter(10*time.Millisecond),
+		WithWorkerID("retry-worker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.UploadSession("any", server.SessionUpload{}); err != nil {
+		t.Fatalf("upload through shedding server: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hits = %d, want 2", hits.Load())
+	}
+	if client.RetryAttempts() != 1 {
+		t.Errorf("retries = %d, want 1", client.RetryAttempts())
+	}
+}
+
+func TestWorkerIDHeaderSent(t *testing.T) {
+	got := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Get(WorkerIDHeader)
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, nil, WithWorkerID("w-42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.get("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if id := <-got; id != "w-42" {
+		t.Errorf("worker header = %q, want w-42", id)
+	}
+}

@@ -1,0 +1,249 @@
+package guard
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaleidoscope/internal/obs"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	l := NewLimiter(4, 8, 100*time.Millisecond)
+	var cur, peak, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, ok, _ := l.Acquire(nil)
+			if !ok {
+				shed.Add(1)
+				return
+			}
+			admitted.Add(1)
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrency %d exceeds limit 4", p)
+	}
+	if admitted.Load()+shed.Load() != 64 {
+		t.Errorf("admitted %d + shed %d != 64", admitted.Load(), shed.Load())
+	}
+	if admitted.Load() < 4 {
+		t.Errorf("admitted %d, want at least the limit", admitted.Load())
+	}
+	if l.Inflight() != 0 {
+		t.Errorf("inflight %d after all released, want 0", l.Inflight())
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	release, ok, _ := l.Acquire(nil)
+	if !ok {
+		t.Fatal("first acquire should succeed")
+	}
+	// Fill the one queue slot with a waiter.
+	waiterIn := make(chan struct{})
+	waiterOut := make(chan bool)
+	go func() {
+		close(waiterIn)
+		r, ok, waited := l.Acquire(nil)
+		if ok {
+			r()
+		}
+		waiterOut <- ok && waited
+	}()
+	<-waiterIn
+	// Let the waiter actually enter the queue.
+	for i := 0; l.QueueDepth() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if l.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", l.QueueDepth())
+	}
+	// Queue is full: the next request is shed immediately, without waiting.
+	start := time.Now()
+	if _, ok, waited := l.Acquire(nil); ok || waited {
+		t.Errorf("acquire with full queue: ok=%v waited=%v, want immediate shed", ok, waited)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("full-queue shed took %s, want immediate", d)
+	}
+	release()
+	if got := <-waiterOut; !got {
+		t.Error("queued waiter should be admitted (with waited=true) after release")
+	}
+}
+
+func TestLimiterQueueWaitExpires(t *testing.T) {
+	l := NewLimiter(1, 1, 10*time.Millisecond)
+	release, ok, _ := l.Acquire(nil)
+	if !ok {
+		t.Fatal("first acquire should succeed")
+	}
+	defer release()
+	start := time.Now()
+	if _, ok, waited := l.Acquire(nil); ok || !waited {
+		t.Errorf("acquire past wait budget: ok=%v waited=%v, want shed after waiting", ok, waited)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("shed after %s, want at least the 10ms queue wait", d)
+	}
+}
+
+func TestLimiterDoneCancelsWait(t *testing.T) {
+	l := NewLimiter(1, 1, time.Minute)
+	release, _, _ := l.Acquire(nil)
+	defer release()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	start := time.Now()
+	if _, ok, _ := l.Acquire(done); ok {
+		t.Error("acquire should shed when done closes")
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancel took %s", d)
+	}
+}
+
+// fakeClock is a mutable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestRateLimiterRefillAndRetryHint(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl := NewRateLimiter(1, 2, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if wait, ok := rl.Allow("w1"); !ok {
+			t.Fatalf("burst request %d denied (wait %s)", i, wait)
+		}
+	}
+	wait, ok := rl.Allow("w1")
+	if ok {
+		t.Fatal("third immediate request should be denied")
+	}
+	if wait < 900*time.Millisecond || wait > 1100*time.Millisecond {
+		t.Errorf("retry hint = %s, want ~1s (1 token at 1/s)", wait)
+	}
+	// Another worker is unaffected.
+	if _, ok := rl.Allow("w2"); !ok {
+		t.Error("independent worker should not be rate limited")
+	}
+	clk.advance(time.Second)
+	if wait, ok := rl.Allow("w1"); !ok {
+		t.Errorf("after 1s refill the request should pass (wait %s)", wait)
+	}
+	if _, ok := rl.Allow("w1"); ok {
+		t.Error("bucket should be empty again immediately after the refill spend")
+	}
+}
+
+func TestRateLimiterPrunesIdleBuckets(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl := NewRateLimiter(10, 10, clk.now)
+	for i := 0; i < 100; i++ {
+		rl.Allow(string(rune('a' + i%26)))
+	}
+	clk.advance(time.Hour) // everything refills to burst
+	rl.pruneLocked(clk.now())
+	if n := rl.Keys(); n != 0 {
+		t.Errorf("after prune with all buckets idle, %d keys remain", n)
+	}
+}
+
+func TestGuardAdmitAndMetrics(t *testing.T) {
+	g := New(Config{
+		MaxInflight: 1,
+		Inflight:    map[Class]int{ClassRead: 1},
+		Queue:       map[Class]int{ClassRead: 0},
+		QueueWait:   5 * time.Millisecond,
+		Rate:        1000,
+	})
+	release, ok := g.Admit(nil, ClassRead)
+	if !ok {
+		t.Fatal("first admit should succeed")
+	}
+	if _, ok := g.Admit(nil, ClassRead); ok {
+		t.Fatal("second admit with zero queue should shed")
+	}
+	release()
+	if g.Shed(ClassRead) != 1 {
+		t.Errorf("shed count = %d, want 1", g.Shed(ClassRead))
+	}
+	if _, ok := g.AllowWorker("w"); !ok {
+		t.Error("generous rate should admit")
+	}
+
+	reg := obs.NewRegistry()
+	g.RegisterMetrics(reg)
+	var sb strings.Builder
+	reg.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`kscope_guard_shed_total{class="read"} 1`,
+		`kscope_guard_inflight{class="upload"} 0`,
+		"kscope_guard_breaker_state 0",
+		"kscope_guard_breaker_trips_total 0",
+		"kscope_guard_ratelimited_total 0",
+		"kscope_guard_degraded_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGuardDisabledRateAdmitsAll(t *testing.T) {
+	g := New(Config{MaxInflight: 4})
+	for i := 0; i < 100; i++ {
+		if _, ok := g.AllowWorker("hot"); !ok {
+			t.Fatal("disabled rate limiter must admit everything")
+		}
+	}
+}
+
+func TestGuardDerivedClassLimits(t *testing.T) {
+	g := New(Config{MaxInflight: 8})
+	if got := g.limiters[ClassRead].Cap(); got != 32 {
+		t.Errorf("read limit = %d, want 4x base", got)
+	}
+	if got := g.limiters[ClassUpload].Cap(); got != 8 {
+		t.Errorf("upload limit = %d, want base", got)
+	}
+	if got := g.limiters[ClassResults].Cap(); got != 2 {
+		t.Errorf("results limit = %d, want base/4", got)
+	}
+}

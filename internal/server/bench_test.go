@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -73,7 +74,7 @@ func BenchmarkConclude10kResponses(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.cache.invalidateSessions("srv-test")
-		res, err := srv.concludeCached("srv-test", true)
+		res, err := srv.concludeCached(context.Background(), "srv-test", true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,13 +139,13 @@ func BenchmarkConcludeIncremental(b *testing.B) {
 			seedSessions(b, srv, prep, n)
 			// Warm the accumulator: first conclusion does the one-time
 			// rebuild from storage.
-			if _, err := srv.concludeCached("srv-test", true); err != nil {
+			if _, err := srv.concludeCached(context.Background(), "srv-test", true); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				srv.cache.invalidateSessions("srv-test")
-				res, err := srv.concludeCached("srv-test", true)
+				res, err := srv.concludeCached(context.Background(), "srv-test", true)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -67,6 +67,15 @@ type servingCache struct {
 	sessions map[string][]SessionUpload
 	results  map[resultsKey]*Results
 
+	// staleTests and staleResults are last-known-good snapshots for
+	// degraded-mode serving: every accepted (and even generation-raced —
+	// the data itself is valid) fill lands here too, and invalidation never
+	// clears them. While the store circuit breaker is open, reads that miss
+	// the live cache fall back to these instead of touching the faulting
+	// store.
+	staleTests   map[string]*testEntry
+	staleResults map[resultsKey]*Results
+
 	testHits, testMisses       atomic.Int64
 	sessionHits, sessionMisses atomic.Int64
 	resultHits, resultMisses   atomic.Int64
@@ -74,10 +83,12 @@ type servingCache struct {
 
 func newServingCache() *servingCache {
 	return &servingCache{
-		gens:     make(map[string]uint64),
-		tests:    make(map[string]*testEntry),
-		sessions: make(map[string][]SessionUpload),
-		results:  make(map[resultsKey]*Results),
+		gens:         make(map[string]uint64),
+		tests:        make(map[string]*testEntry),
+		sessions:     make(map[string][]SessionUpload),
+		results:      make(map[resultsKey]*Results),
+		staleTests:   make(map[string]*testEntry),
+		staleResults: make(map[resultsKey]*Results),
 	}
 }
 
@@ -103,10 +114,19 @@ func (c *servingCache) test(testID string) (*testEntry, bool) {
 func (c *servingCache) putTest(testID string, gen uint64, e *testEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.staleTests[testID] = e
 	if c.gens[testID] != gen {
 		return
 	}
 	c.tests[testID] = e
+}
+
+// staleTest returns the last-known-good entry for degraded-mode serving.
+func (c *servingCache) staleTest(testID string) (*testEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.staleTests[testID]
+	return e, ok
 }
 
 func (c *servingCache) sessionsFor(testID string) ([]SessionUpload, bool) {
@@ -148,11 +168,21 @@ func (c *servingCache) resultsFor(key resultsKey) (*Results, bool) {
 func (c *servingCache) putResults(key resultsKey, gen uint64, r *Results) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.staleResults[key] = r
 	if c.gens[key.testID] != gen {
 		return false
 	}
 	c.results[key] = r
 	return true
+}
+
+// staleResults returns the last-known-good conclusion for degraded-mode
+// serving.
+func (c *servingCache) staleResultsFor(key resultsKey) (*Results, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.staleResults[key]
+	return r, ok
 }
 
 // invalidateTest drops everything derived from a test's stored documents.

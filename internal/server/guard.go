@@ -1,0 +1,183 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/guard"
+	"kaleidoscope/internal/store"
+)
+
+// DegradedHeader marks a response served from cached data while the store
+// circuit breaker was open. Clients may keep working from it; operators
+// alert on it.
+const DegradedHeader = "X-Kscope-Degraded"
+
+// WithGuard wires an overload-protection layer into the server: admission
+// control and per-worker rate limiting around every API request, and the
+// store circuit breaker (with degraded-mode serving) around the store
+// paths. /healthz, /readyz, and /metrics are exempt from admission so the
+// server stays observable under overload.
+func WithGuard(g *guard.Guard) Option {
+	return func(s *Server) { s.guard = g }
+}
+
+// classifyRequest maps a request onto its admission class. The boolean is
+// false for exempt paths (health, readiness, metrics), which must answer
+// even when the API is saturated.
+func classifyRequest(r *http.Request) (guard.Class, bool) {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/readyz", "/metrics":
+		return 0, false
+	}
+	switch {
+	case r.Method == http.MethodPost:
+		return guard.ClassUpload, true
+	case strings.HasSuffix(p, "/results"):
+		return guard.ClassResults, true
+	default:
+		return guard.ClassRead, true
+	}
+}
+
+// workerKey identifies the client for per-worker rate limiting: the
+// extension's worker id header when present, the remote host otherwise.
+func workerKey(r *http.Request) string {
+	if id := r.Header.Get(guard.WorkerIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders a Retry-After value: integer seconds, rounded
+// up, at least 1 (RFC 9110 allows only whole seconds).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeShed sends an overload rejection. Every shed — 429 from admission or
+// rate limiting, 503 from the open breaker — carries Retry-After so a
+// well-behaved client backs off by the server's clock, not its own guess.
+func writeShed(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	writeError(w, status, format, args...)
+}
+
+// serveGuarded runs the rate-limit and admission gates before dispatching.
+func (s *Server) serveGuarded(w http.ResponseWriter, r *http.Request) {
+	class, limited := classifyRequest(r)
+	if !limited {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if wait, ok := s.guard.AllowWorker(workerKey(r)); !ok {
+		writeShed(w, http.StatusTooManyRequests, wait,
+			"worker rate limit exceeded; retry after the indicated delay")
+		return
+	}
+	release, ok := s.guard.Admit(r.Context().Done(), class)
+	if !ok {
+		writeShed(w, http.StatusTooManyRequests, s.guard.RetryAfter(),
+			"server overloaded (%s class at capacity)", class)
+		return
+	}
+	defer release()
+	s.mux.ServeHTTP(w, r)
+}
+
+// breakerOpen reports whether the guard's store breaker currently refuses
+// work (degraded mode).
+func (s *Server) breakerOpen() bool {
+	return s.guard != nil && s.guard.Breaker().State() == guard.StateOpen
+}
+
+// serveDegraded writes a 200 from cached data with the degraded marker.
+func (s *Server) serveDegraded(w http.ResponseWriter, v any) {
+	w.Header().Set(DegradedHeader, "1")
+	s.guard.NoteDegraded()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// writeUnavailable is the degraded-mode answer when nothing cached exists:
+// 503 + Retry-After, the honest "come back when the store recovers".
+func (s *Server) writeUnavailable(w http.ResponseWriter, what string) {
+	s.guard.NoteUnavailable()
+	writeShed(w, http.StatusServiceUnavailable, s.guard.RetryAfter(),
+		"%s unavailable: storage degraded, retry after the indicated delay", what)
+}
+
+// loadServing is the handlers' guarded test-metadata load. It returns the
+// entry plus a degraded flag: true means the breaker is open and the entry
+// (when non-nil) came from cache rather than a fresh store read. With the
+// breaker open and nothing cached it returns guard.ErrUnavailable.
+func (s *Server) loadServing(testID string) (*testEntry, bool, error) {
+	if s.guard == nil {
+		entry, err := s.load(testID)
+		return entry, false, err
+	}
+	if entry, ok := s.cache.test(testID); ok {
+		// Cache hits never touch the store; the degraded flag still marks
+		// responses produced while the breaker is open so clients and
+		// operators can see the server is coasting on cached state.
+		return entry, s.breakerOpen(), nil
+	}
+	done, ok := s.guard.Breaker().Allow()
+	if !ok {
+		if entry, ok := s.cache.staleTest(testID); ok {
+			return entry, true, nil
+		}
+		return nil, true, guard.ErrUnavailable
+	}
+	gen := s.cache.gen(testID)
+	prep, err := aggregator.LoadPrepared(s.db, testID)
+	if err != nil {
+		// Not-found is a clean answer from a healthy store; anything else
+		// (corruption, I/O trouble) is breaker-relevant.
+		if errors.Is(err, store.ErrNotFound) {
+			done(guard.Success)
+		} else {
+			done(guard.Failure)
+		}
+		return nil, false, err
+	}
+	done(guard.Success)
+	entry := newTestEntry(prep)
+	s.cache.putTest(testID, gen, entry)
+	return entry, false, nil
+}
+
+// handleReady serves GET /readyz: 200 while the server can do real work,
+// 503 + Retry-After while the store breaker is open. Load balancers use it
+// to steer new crowds away from a degraded instance; /healthz stays a pure
+// liveness check.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.guard == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	state := s.guard.Breaker().State()
+	if state == guard.StateOpen {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.guard.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded", "breaker": state.String(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ready", "breaker": state.String(),
+	})
+}

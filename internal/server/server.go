@@ -19,6 +19,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/guard"
 	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/quality"
 	"kaleidoscope/internal/questionnaire"
@@ -45,6 +47,7 @@ type Server struct {
 	cache *servingCache
 	accum *resultsAccumulator // nil when WithScratchResults is set
 	reg   *obs.Registry       // nil when observability is off
+	guard *guard.Guard        // nil when overload protection is off
 
 	scratchOnly bool
 }
@@ -96,6 +99,7 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 
 	// The serving path's lookups are all by test id.
 	responses := db.Collection(aggregator.ResponsesCollection)
@@ -219,7 +223,7 @@ func RouteLabel(r *http.Request) string {
 	m, p := r.Method, r.URL.Path
 	switch {
 	case p == "/api/tests" || p == "/api/params/build" || p == "/builder" ||
-		p == "/healthz" || p == "/metrics":
+		p == "/healthz" || p == "/readyz" || p == "/metrics":
 		return m + " " + p
 	case strings.HasPrefix(p, "/dashboard/"):
 		return m + " /dashboard/{id}"
@@ -266,9 +270,14 @@ func writeLoadError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, "loading test: %v", err)
 }
 
-// ServeHTTP dispatches to the API mux.
+// ServeHTTP dispatches to the API mux, through the overload guard when one
+// is wired.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.guard == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.serveGuarded(w, r)
 }
 
 // PageView is the extension-facing description of one integrated page. It
@@ -354,12 +363,20 @@ func docStringField(d store.Document, key string) string {
 }
 
 func (s *Server) handleTestInfo(w http.ResponseWriter, r *http.Request) {
-	info, err := s.loadInfo(r.PathValue("id"))
+	entry, degraded, err := s.loadServing(r.PathValue("id"))
 	if err != nil {
+		if errors.Is(err, guard.ErrUnavailable) {
+			s.writeUnavailable(w, "test info")
+			return
+		}
 		writeLoadError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	if degraded {
+		s.serveDegraded(w, entry.info)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info)
 }
 
 // Task is the posting payload for a crowdsourcing platform.
@@ -374,19 +391,28 @@ type Task struct {
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	testID := r.PathValue("id")
-	entry, err := s.load(testID)
+	entry, degraded, err := s.loadServing(testID)
 	if err != nil {
+		if errors.Is(err, guard.ErrUnavailable) {
+			s.writeUnavailable(w, "task payload")
+			return
+		}
 		writeLoadError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, Task{
+	task := Task{
 		TestID:          testID,
 		Title:           "Kaleidoscope web comparison test " + testID,
 		Instructions:    entry.prep.Test.TestDescription,
 		RequiredWorkers: entry.prep.Test.ParticipantNum,
 		PaymentUSD:      0.10,
 		PageCount:       len(entry.prep.Pages),
-	})
+	}
+	if degraded {
+		s.serveDegraded(w, task)
+		return
+	}
+	writeJSON(w, http.StatusOK, task)
 }
 
 func (s *Server) handlePageFile(w http.ResponseWriter, r *http.Request) {
@@ -454,9 +480,41 @@ func (u *SessionUpload) Validate(info *TestInfo) error {
 }
 
 func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	testID := r.PathValue("id")
+
+	// A session upload is an uncacheable store write: with the breaker
+	// refusing work there is nothing degraded to serve, so answer 503 +
+	// Retry-After before burning any decode/validate CPU. When the breaker
+	// half-opens, the winning upload proceeds as the recovery probe.
+	var breakerDone func(guard.Outcome)
+	if s.guard != nil {
+		var ok bool
+		breakerDone, ok = s.guard.Breaker().Allow()
+		if !ok {
+			s.writeUnavailable(w, "session storage")
+			return
+		}
+	}
+	// report forwards the store outcome to the breaker exactly once;
+	// requests that bail before reaching the store report Canceled, which
+	// frees a probe slot without claiming anything about store health.
+	reported := false
+	report := func(o guard.Outcome) {
+		if breakerDone != nil && !reported {
+			reported = true
+			breakerDone(o)
+		}
+	}
+	defer report(guard.Canceled)
+
 	entry, err := s.load(testID)
 	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			report(guard.Success)
+		} else {
+			report(guard.Failure)
+		}
 		writeLoadError(w, err)
 		return
 	}
@@ -470,6 +528,12 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeError(w, http.StatusBadRequest, "decoding session: %v", err)
+		return
+	}
+	// The decode may have blocked on a slow or dead connection; do not
+	// validate, score, or persist work for a client that already hung up.
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusRequestTimeout, "client canceled request: %v", err)
 		return
 	}
 	if upload.TestID == "" {
@@ -495,6 +559,12 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "encoding session: %v", err)
 		return
 	}
+	// Last disconnect check before the write: a canceled request must not
+	// persist a session the client will re-upload.
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusRequestTimeout, "client canceled request: %v", err)
+		return
+	}
 	doc := store.Document{
 		store.IDField: testID + "/" + upload.WorkerID,
 		"test_id":     testID,
@@ -503,13 +573,24 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := s.db.Collection(aggregator.ResponsesCollection).InsertUnique(doc); err != nil {
 		if errors.Is(err, store.ErrDuplicateID) {
+			report(guard.Success)
 			writeError(w, http.StatusConflict,
 				"worker %q already uploaded a session for test %q", upload.WorkerID, testID)
+			return
+		}
+		report(guard.Failure)
+		if s.guard != nil {
+			// With the guard on, a failed store write is a transient
+			// outage, not a terminal server error: tell the client to
+			// retry once the breaker has had a chance to recover.
+			writeShed(w, http.StatusServiceUnavailable, s.guard.RetryAfter(),
+				"storing session failed: %v; retry after the indicated delay", err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "storing session: %v", err)
 		return
 	}
+	report(guard.Success)
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "stored", "worker_id": upload.WorkerID})
 }
 
@@ -673,13 +754,18 @@ func concludeFrom(testID string, entry *testEntry, uploads []SessionUpload, qc *
 // (still perfectly valid) result; one bounded recompute re-attempts the
 // fill from the newer state so interleaved upload/results traffic does not
 // degrade into a permanently cold results cache.
-func (s *Server) concludeCached(testID string, useQC bool) (*Results, error) {
+func (s *Server) concludeCached(ctx context.Context, testID string, useQC bool) (*Results, error) {
 	key := resultsKey{testID: testID, quality: useQC}
 	if res, ok := s.cache.resultsFor(key); ok {
 		return res, nil
 	}
 	var res *Results
 	for attempt := 0; attempt < 2; attempt++ {
+		// A disconnected client gets no tally: concluding can mean folding
+		// thousands of stored sessions, and nobody is listening anymore.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen := s.cache.gen(testID)
 		entry, err := s.load(testID)
 		if err != nil {
@@ -709,10 +795,33 @@ func concludeConfig(entry *testEntry, useQC bool) *quality.Config {
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	res, err := s.concludeCached(r.PathValue("id"), r.URL.Query().Get("quality") == "1")
+	testID := r.PathValue("id")
+	useQC := r.URL.Query().Get("quality") == "1"
+	// Degraded mode: with the store breaker open, answer from the freshest
+	// cached conclusion (live cache first, last-known-good snapshot
+	// otherwise) instead of touching storage. Only a test never concluded
+	// before the outage gets a 503.
+	if s.breakerOpen() {
+		key := resultsKey{testID: testID, quality: useQC}
+		if res, ok := s.cache.resultsFor(key); ok {
+			s.serveDegraded(w, res)
+			return
+		}
+		if res, ok := s.cache.staleResultsFor(key); ok {
+			s.serveDegraded(w, res)
+			return
+		}
+		s.writeUnavailable(w, "results")
+		return
+	}
+	res, err := s.concludeCached(r.Context(), testID, useQC)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			writeError(w, http.StatusNotFound, "test not found: %v", err)
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusRequestTimeout, "client canceled request: %v", err)
 			return
 		}
 		// Corrupt sessions or stored params are server-side faults.
