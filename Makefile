@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server load-smoke overload-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,26 @@ bench-aggregator:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare(Sequential|Parallel)$$' -benchmem -count=3 \
 		./internal/aggregator/
 
-# The PR-4 acceptance benchmark pair; record results in BENCH_server.json
+# The PR-4/PR-6 acceptance benchmarks; record results in BENCH_server.json
 # (the incremental results engine must stay >=10x over the from-scratch
-# oracle at 10k stored sessions — see that file's notes).
+# oracle at 10k stored sessions, and the batched upload under its
+# per-session allocation budget — see that file's notes).
 bench-server:
-	$(GO) test -run '^$$' -bench 'BenchmarkConclude(Scratch|Incremental)' -benchmem -benchtime 10x \
-		./internal/server/
+	$(GO) test -run '^$$' -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP)$$|BenchmarkSessionUploadFsync' \
+		-benchmem -benchtime 10x ./internal/server/
+
+# Just the upload hot-path pair: single endpoint vs the batched streaming
+# decoder (divide the batch allocs/op by 100 for the per-session figure).
+bench-batch:
+	$(GO) test -run '^$$' -bench 'BenchmarkSession(UploadHTTP|BatchUploadHTTP)$$|BenchmarkSessionUploadFsync' \
+		-benchmem -benchtime 50x ./internal/server/
+
+# Benchmark regression gate: re-runs the acceptance benchmarks and fails on
+# any recorded-floor regression — allocation counts vs BENCH_*.json, the
+# batch upload's 40 allocs/session budget, the >=10x incremental speedup,
+# and (with >=4 cores) the >=1.8x parallel Prepare speedup.
+bench-delta:
+	./scripts/bench_delta.sh
 
 # Deterministic crowd soak through the real HTTP stack with chaos on: fails
 # on any worker loss, any server status outside 200/201/409, or divergence
@@ -73,3 +87,10 @@ load-smoke:
 # still end with zero lost workers and oracle-equal results.
 overload-smoke:
 	$(GO) run ./cmd/kscope-load -scenario overload -workers 15 -seed 7 -drop 0.05 -fault 0.05
+
+# Batched-upload throughput acceptance: the fleet ships gzip batches through
+# POST /tests/{id}/sessions:batch, the run fails if the batched endpoint
+# goes unused, if throughput lands under -min-rate, or if incremental
+# results diverge from the from-scratch oracle.
+throughput-smoke:
+	$(GO) run ./cmd/kscope-load -scenario throughput -workers 40 -seed 7 -batch 10 -min-rate 25

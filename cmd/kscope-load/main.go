@@ -70,12 +70,14 @@ type config struct {
 	retries      int
 	resultsEvery int
 	trusted      bool
+	batch        int
+	minRate      float64
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd) or overload (saturate admission control and force the store breaker open)")
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), or throughput (batched uploads, sessions/sec report)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -85,6 +87,8 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.retries, "retries", 12, "per-worker client retry budget")
 	fs.IntVar(&cfg.resultsEvery, "results-every", 5, "poll the results endpoints every N finished workers (0 = off)")
 	fs.BoolVar(&cfg.trusted, "trusted", false, "use the trusted crowd mix instead of the open one")
+	fs.IntVar(&cfg.batch, "batch", 100, "throughput scenario: sessions per batched upload")
+	fs.Float64Var(&cfg.minRate, "min-rate", 0, "throughput scenario: fail under this sessions/sec floor (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,8 +97,10 @@ func run(args []string, out io.Writer) error {
 		return soak(cfg, out)
 	case "overload":
 		return overload(cfg, out)
+	case "throughput":
+		return throughput(cfg, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want soak or overload)", cfg.scenario)
+		return fmt.Errorf("unknown -scenario %q (want soak, overload, or throughput)", cfg.scenario)
 	}
 }
 
@@ -303,6 +309,7 @@ func printLatencies(out io.Writer, reg *obs.Registry) {
 		"GET /api/tests/{id}",
 		"GET /api/tests/{id}/pages",
 		"POST /api/tests/{id}/sessions",
+		"POST /api/tests/{id}/sessions:batch",
 		"GET /api/tests/{id}/results",
 	}
 	fmt.Fprintf(out, "%-32s %8s %9s %9s %9s\n", "route", "count", "p50", "p90", "p99")

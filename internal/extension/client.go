@@ -13,6 +13,7 @@ package extension
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -265,6 +266,83 @@ func (c *Client) TestInfo(testID string) (*server.TestInfo, error) {
 // FetchPageFile downloads one file of an integrated page.
 func (c *Client) FetchPageFile(testID, pageID, file string) ([]byte, error) {
 	return c.get("/api/tests/" + testID + "/pages/" + pageID + "/" + file)
+}
+
+// UploadBatch posts many finished sessions through the server's batched
+// endpoint (POST /api/tests/{id}/sessions:batch), gzip-compressing the
+// array on the wire when compress is set. It reuses the single-upload retry
+// machinery — transport errors, 5xx, and 429 sheds are retried with backoff
+// or the server's Retry-After — and the whole operation is idempotent the
+// same way singles are: elements stored by an earlier attempt answer 409 on
+// the retry, which callers treat as success. The returned report carries a
+// per-element status for every element the server reached; it is non-nil
+// whenever the server produced one, including alongside a definitive error.
+func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, compress bool) (*server.BatchReport, error) {
+	payload, err := json.Marshal(sessions)
+	if err != nil {
+		return nil, fmt.Errorf("extension: encoding batch: %w", err)
+	}
+	if compress {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			return nil, fmt.Errorf("extension: compressing batch: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("extension: compressing batch: %w", err)
+		}
+		payload = buf.Bytes()
+	}
+	url := c.baseURL + "/api/tests/" + testID + "/sessions:batch"
+	var lastErr error
+	var serverDelay time.Duration
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.noteRetry(attempt, serverDelay)
+			serverDelay = 0
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("extension: uploading batch: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if compress {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		if c.workerID != "" {
+			req.Header.Set(WorkerIDHeader, c.workerID)
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("extension: uploading batch: %w", err)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		resp.Body.Close()
+		var report server.BatchReport
+		decoded := json.Unmarshal(body, &report) == nil
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if !decoded {
+				return nil, fmt.Errorf("extension: corrupt batch report: %s", truncate(body, 200))
+			}
+			return &report, nil
+		case retryable(resp.StatusCode):
+			lastErr = fmt.Errorf("extension: batch upload failed: status %d: %s",
+				resp.StatusCode, truncate(body, 200))
+		default:
+			// Definitive failure (400/408/413): the report — when the server
+			// produced one — says which elements still committed.
+			err := fmt.Errorf("extension: batch upload rejected: status %d: %s",
+				resp.StatusCode, truncate(body, 200))
+			if decoded {
+				return &report, err
+			}
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 // UploadSession posts a finished session to the core server, retrying

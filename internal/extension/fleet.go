@@ -45,6 +45,12 @@ type Fleet struct {
 	Timeout time.Duration
 	// Registry, when set, receives client retry metrics.
 	Registry *obs.Registry
+	// BatchSize, when positive, switches the fleet to batched uploads:
+	// workers build their sessions (download, replay, answer) without
+	// posting them, and a shared client ships gzip-compressed batches of
+	// this size through the server's sessions:batch endpoint. Zero keeps one
+	// POST per participant.
+	BatchSize int
 	// OnResult, when set, is called after each worker finishes (success or
 	// failure) with the number of workers completed so far. It may be
 	// called concurrently; load drivers use it to interleave results polls
@@ -100,6 +106,32 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 
 	report := &FleetReport{}
 	var mu sync.Mutex
+	record := func(res WorkerResult) {
+		mu.Lock()
+		if res.Err != nil {
+			report.Failed++
+			if len(report.Errs) < 5 {
+				report.Errs = append(report.Errs, res.Err)
+			}
+		} else {
+			report.Completed++
+		}
+		report.Retries += res.Retries
+		done := report.Completed + report.Failed
+		mu.Unlock()
+		if f.OnResult != nil {
+			f.OnResult(done, res)
+		}
+	}
+
+	var batcher *sessionBatcher
+	if f.BatchSize > 0 {
+		var err error
+		if batcher, err = f.newBatcher(testID, record); err != nil {
+			return nil, err
+		}
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	indices := make(chan int)
@@ -109,22 +141,14 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				res := f.runWorker(testID, i, pop.Workers[i])
-				mu.Lock()
-				if res.Err != nil {
-					report.Failed++
-					if len(report.Errs) < 5 {
-						report.Errs = append(report.Errs, res.Err)
-					}
-				} else {
-					report.Completed++
+				res := f.runWorker(testID, i, pop.Workers[i], batcher != nil)
+				if batcher != nil && res.Err == nil {
+					// Built but not yet shipped: the batcher records the
+					// result once its batch's upload settles.
+					batcher.add(res)
+					continue
 				}
-				report.Retries += res.Retries
-				done := report.Completed + report.Failed
-				mu.Unlock()
-				if f.OnResult != nil {
-					f.OnResult(done, res)
-				}
+				record(res)
 			}
 		}()
 	}
@@ -133,12 +157,111 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 	}
 	close(indices)
 	wg.Wait()
+	if batcher != nil {
+		batcher.flush()
+		mu.Lock()
+		report.Retries += batcher.client.RetryAttempts()
+		mu.Unlock()
+	}
 	report.Elapsed = time.Since(start)
 	return report, nil
 }
 
-// runWorker executes one participant's full flow.
-func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker) WorkerResult {
+// sessionBatcher accumulates built sessions and ships them in fixed-size
+// gzip-compressed batches through one shared upload client. The worker that
+// fills a batch uploads it; the others keep building — uploads overlap the
+// remaining flow work.
+type sessionBatcher struct {
+	client  *Client
+	testID  string
+	size    int
+	record  func(WorkerResult)
+	mu      sync.Mutex
+	pending []WorkerResult
+}
+
+// newBatcher builds the shared batch-upload client from the fleet's retry
+// knobs.
+func (f *Fleet) newBatcher(testID string, record func(WorkerResult)) (*sessionBatcher, error) {
+	timeout := f.Timeout
+	if timeout == 0 {
+		timeout = defaultTimeout
+	}
+	httpc := &http.Client{Timeout: timeout}
+	if f.Transport != nil {
+		// The batcher is not any single worker; give it the first transport
+		// slot past the population so chaos injection stays per-connection.
+		httpc.Transport = f.Transport(-1)
+	}
+	var opts []ClientOption
+	if f.Retries > 0 {
+		opts = append(opts, WithRetries(f.Retries))
+	}
+	if f.Backoff > 0 {
+		opts = append(opts, WithBackoff(f.Backoff))
+	}
+	if f.MaxRetryAfter > 0 {
+		opts = append(opts, WithMaxRetryAfter(f.MaxRetryAfter))
+	}
+	if f.Registry != nil {
+		opts = append(opts, WithMetrics(f.Registry))
+	}
+	client, err := NewClient(f.BaseURL, httpc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionBatcher{client: client, testID: testID, size: f.BatchSize, record: record}, nil
+}
+
+// add queues one built session; a full batch is uploaded by the caller.
+func (b *sessionBatcher) add(res WorkerResult) {
+	b.mu.Lock()
+	b.pending = append(b.pending, res)
+	var batch []WorkerResult
+	if len(b.pending) >= b.size {
+		batch, b.pending = b.pending, nil
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		b.upload(batch)
+	}
+}
+
+// flush ships whatever remains; called after all workers finished building.
+func (b *sessionBatcher) flush() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.upload(batch)
+	}
+}
+
+// upload ships one batch and records every element's outcome. A 409 element
+// is a success like it is on the single path: an earlier attempt (perhaps
+// one whose response was lost) already stored the session.
+func (b *sessionBatcher) upload(batch []WorkerResult) {
+	sessions := make([]server.SessionUpload, len(batch))
+	for i, res := range batch {
+		sessions[i] = *res.Session
+	}
+	reportObj, err := b.client.UploadBatch(b.testID, sessions, true)
+	for i := range batch {
+		switch {
+		case err != nil:
+			batch[i].Err = fmt.Errorf("extension: batch upload (worker %s): %w", batch[i].WorkerID, err)
+		case reportObj.Results[i].Status != http.StatusCreated && reportObj.Results[i].Status != http.StatusConflict:
+			batch[i].Err = fmt.Errorf("extension: batch element %s rejected: status %d: %s",
+				batch[i].WorkerID, reportObj.Results[i].Status, reportObj.Results[i].Error)
+		}
+		b.record(batch[i])
+	}
+}
+
+// runWorker executes one participant's flow; in buildOnly mode the session
+// is returned unuploaded for the batcher to ship.
+func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker, buildOnly bool) WorkerResult {
 	res := WorkerResult{Index: index, WorkerID: worker.ID}
 	start := time.Now()
 
@@ -173,7 +296,11 @@ func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker) Worker
 		Answer: f.Answer,
 		RNG:    rand.New(rand.NewSource(f.Seed + int64(index)*workerSeedStride)),
 	}
-	session, err := runner.Run(testID)
+	run := runner.Run
+	if buildOnly {
+		run = runner.Build
+	}
+	session, err := run(testID)
 	res.Retries = client.RetryAttempts()
 	res.Elapsed = time.Since(start)
 	if err != nil {

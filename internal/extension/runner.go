@@ -50,6 +50,21 @@ type Runner struct {
 // question is answered, telemetry is recorded, and the session is posted
 // to the core server.
 func (r *Runner) Run(testID string) (*server.SessionUpload, error) {
+	session, err := r.Build(testID)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Client.UploadSession(testID, *session); err != nil {
+		return nil, err
+	}
+	return session, nil
+}
+
+// Build performs the flow up to — but not including — the upload and
+// returns the finished session. Batch-mode drivers (Fleet with BatchSize,
+// the throughput load scenario) build sessions through this and ship them
+// via Client.UploadBatch instead of one POST per participant.
+func (r *Runner) Build(testID string) (*server.SessionUpload, error) {
 	if r.Client == nil || r.Worker == nil || r.Answer == nil {
 		return nil, errors.New("extension: runner missing client, worker, or answer function")
 	}
@@ -103,10 +118,6 @@ func (r *Runner) Run(testID string) (*server.SessionUpload, error) {
 				DurationMillis: behavior.TimeOnTaskMillis,
 			})
 		}
-	}
-
-	if err := r.Client.UploadSession(testID, *session); err != nil {
-		return nil, err
 	}
 	return session, nil
 }

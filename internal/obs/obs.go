@@ -42,6 +42,12 @@ var DefLatencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// DefSizeBuckets are the default bounds for count-like histograms (batch
+// sizes, element counts): powers of two from 1 through 16384.
+var DefSizeBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+}
+
 // Histogram is a fixed-bucket histogram with atomic observation.
 type Histogram struct {
 	bounds []float64      // upper bounds, ascending; +Inf is implicit

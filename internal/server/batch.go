@@ -1,0 +1,319 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/guard"
+	"kaleidoscope/internal/obs"
+	"kaleidoscope/internal/store"
+)
+
+// Batch-upload budgets. Variables, not constants, so the error-matrix tests
+// can shrink them; production code treats them as fixed.
+var (
+	// maxBatchBytes caps a whole batch's JSON payload, measured after any
+	// gzip decompression (a compressed bomb cannot buy more than this).
+	maxBatchBytes int64 = 32 << 20
+	// maxBatchSessions caps the element count of one batch.
+	maxBatchSessions = 10_000
+	// batchChunkSize is how many validated sessions are committed per WAL
+	// group commit while the stream is still being decoded.
+	batchChunkSize = 256
+)
+
+// BatchElementResult reports the outcome of one element of a batch upload,
+// using the same status vocabulary as the single-session endpoint: 201
+// stored, 400 invalid, 409 duplicate worker, 413 element over the
+// per-session byte budget.
+type BatchElementResult struct {
+	Index    int    `json:"index"`
+	WorkerID string `json:"worker_id,omitempty"`
+	Status   int    `json:"status"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BatchReport is the response body of POST /api/tests/{id}/sessions:batch.
+// The endpoint has partial-accept semantics: elements that validated are
+// committed even when a later element is rejected or the stream itself
+// fails, and Results records what happened to every element that was
+// reached. On a stream-level failure (malformed JSON, budget overflow,
+// client cancel) the HTTP status is 400/413/408 and Error describes the
+// failure; committed elements stay committed — a client retry answers 409
+// for each of them, which the batch client treats as success.
+type BatchReport struct {
+	TestID   string               `json:"test_id"`
+	Accepted int                  `json:"accepted"`
+	Rejected int                  `json:"rejected"`
+	Results  []BatchElementResult `json:"results"`
+	Error    string               `json:"error,omitempty"`
+}
+
+// batchState carries one batch request's progress: the report being built
+// and the chunk of validated-but-uncommitted documents.
+type batchState struct {
+	report  BatchReport
+	pending []store.Document // validated docs awaiting the next group commit
+	pendIdx []int            // report index per pending doc
+	flushes int
+}
+
+// handleSessionBatch is the batched upload endpoint: a JSON array of
+// session uploads — optionally gzip-compressed — streamed through a
+// token-loop decoder that never materializes the whole payload, validated
+// and scored element by element with pooled decode state, and committed in
+// chunks through the store's WAL group commit.
+func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	testID := r.PathValue("id")
+
+	// Like the single-session endpoint, a batch is an uncacheable store
+	// write: with the breaker refusing work, shed before burning decode CPU.
+	var breakerDone func(guard.Outcome)
+	if s.guard != nil {
+		var ok bool
+		breakerDone, ok = s.guard.Breaker().Allow()
+		if !ok {
+			s.writeUnavailable(w, "session storage")
+			return
+		}
+	}
+	reported := false
+	report := func(o guard.Outcome) {
+		if breakerDone != nil && !reported {
+			reported = true
+			breakerDone(o)
+		}
+	}
+	defer report(guard.Canceled)
+
+	entry, err := s.load(testID)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			report(guard.Success)
+		} else {
+			report(guard.Failure)
+		}
+		writeLoadError(w, err)
+		return
+	}
+
+	if s.reg != nil {
+		s.reg.Counter("kscope_batch_requests_total").Inc()
+	}
+
+	// The raw body budget bounds what we read off the wire; the budget
+	// reader bounds what gzip may inflate it into.
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	var body io.Reader = r.Body
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := acquireGzip(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "decoding gzip body: %v", err)
+			return
+		}
+		defer releaseGzip(gz)
+		body = gz
+	}
+	body = newBudgetReader(body, maxBatchBytes)
+
+	st := &batchState{report: BatchReport{TestID: testID, Results: []BatchElementResult{}}}
+	dec := json.NewDecoder(body)
+
+	tok, err := dec.Token()
+	if err != nil {
+		s.finishBatch(w, st, report, s.batchStreamStatus(err), "decoding batch: %v", err)
+		return
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+		s.finishBatch(w, st, report, http.StatusBadRequest, "batch body must be a JSON array of sessions, got %v", tok)
+		return
+	}
+
+	upload := uploadPool.Get().(*SessionUpload)
+	defer uploadPool.Put(upload)
+
+	for dec.More() {
+		if len(st.report.Results) >= maxBatchSessions {
+			s.finishBatch(w, st, report, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d sessions", maxBatchSessions)
+			return
+		}
+		// A dead client mid-stream: stop decoding, drop the uncommitted
+		// chunk (the client will re-send; committed elements answer 409).
+		if err := ctx.Err(); err != nil {
+			st.pending, st.pendIdx = nil, nil
+			s.finishBatch(w, st, report, http.StatusRequestTimeout, "client canceled request: %v", err)
+			return
+		}
+		start := dec.InputOffset()
+		upload.resetForReuse()
+		if err := dec.Decode(upload); err != nil {
+			s.finishBatch(w, st, report, s.batchStreamStatus(err),
+				"decoding batch element %d: %v", len(st.report.Results), err)
+			return
+		}
+		elem := BatchElementResult{Index: len(st.report.Results), WorkerID: upload.WorkerID}
+		if size := dec.InputOffset() - start; size > maxSessionBytes {
+			elem.Status = http.StatusRequestEntityTooLarge
+			elem.Error = fmt.Sprintf("session exceeds %d bytes", maxSessionBytes)
+			st.report.Results = append(st.report.Results, elem)
+			continue
+		}
+		doc, err := s.buildSessionDoc(testID, entry, upload)
+		if err != nil {
+			elem.Status = http.StatusBadRequest
+			elem.Error = err.Error()
+			st.report.Results = append(st.report.Results, elem)
+			continue
+		}
+		// Placeholder status; the flush fills in 201/409 (or fails the
+		// request on a storage fault).
+		st.report.Results = append(st.report.Results, elem)
+		st.pending = append(st.pending, doc)
+		st.pendIdx = append(st.pendIdx, elem.Index)
+		if len(st.pending) >= batchChunkSize {
+			if !s.flushBatch(w, st, report) {
+				return
+			}
+		}
+	}
+	// Closing ']' and strict EOF: trailing garbage after the array is as
+	// malformed as garbage inside it.
+	if _, err := dec.Token(); err != nil {
+		s.finishBatch(w, st, report, s.batchStreamStatus(err), "decoding batch: %v", err)
+		return
+	}
+	if err := requireEOF(dec); err != nil {
+		s.finishBatch(w, st, report, http.StatusBadRequest, "batch body: %v", err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		st.pending, st.pendIdx = nil, nil
+		s.finishBatch(w, st, report, http.StatusRequestTimeout, "client canceled request: %v", err)
+		return
+	}
+	if !s.flushBatch(w, st, report) {
+		return
+	}
+	report(guard.Success)
+	s.noteBatchMetrics(st)
+	writeJSON(w, http.StatusOK, &st.report)
+}
+
+// batchStreamStatus classifies a stream-level decode error: body over the
+// wire budget or inflating past the decompressed budget is 413, everything
+// else (malformed JSON, truncated gzip, short body) is 400.
+func (s *Server) batchStreamStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) || errors.Is(err, errBatchBudget) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// buildSessionDoc validates and scores one decoded upload exactly like the
+// single-session endpoint does and renders its storage document. The
+// returned document embeds the one string copy of the re-marshaled session;
+// nothing in it aliases the pooled upload struct.
+func (s *Server) buildSessionDoc(testID string, entry *testEntry, upload *SessionUpload) (store.Document, error) {
+	if upload.TestID == "" {
+		upload.TestID = testID
+	} else if upload.TestID != testID {
+		return nil, fmt.Errorf("session test_id %q contradicts the URL test %q", upload.TestID, testID)
+	}
+	if err := upload.Validate(entry.info); err != nil {
+		return nil, fmt.Errorf("invalid session: %w", err)
+	}
+	for i := range upload.Controls {
+		exp, ok := entry.expected[upload.Controls[i].PageID]
+		if !ok {
+			return nil, fmt.Errorf("control outcome references non-control page %q", upload.Controls[i].PageID)
+		}
+		upload.Controls[i].Expected = exp
+	}
+	raw, err := marshalSession(upload)
+	if err != nil {
+		return nil, fmt.Errorf("encoding session: %w", err)
+	}
+	return store.Document{
+		store.IDField: testID + "/" + upload.WorkerID,
+		"test_id":     testID,
+		"worker_id":   upload.WorkerID,
+		"session":     raw,
+	}, nil
+}
+
+// flushBatch commits the pending chunk through one WAL group commit and
+// fills in the per-element statuses. It returns false after writing an
+// error response (storage fault), true otherwise.
+func (s *Server) flushBatch(w http.ResponseWriter, st *batchState, report func(guard.Outcome)) bool {
+	if len(st.pending) == 0 {
+		return true
+	}
+	_, errs := s.db.Collection(aggregator.ResponsesCollection).InsertUniqueBatch(st.pending)
+	st.flushes++
+	for i, err := range errs {
+		elem := &st.report.Results[st.pendIdx[i]]
+		switch {
+		case err == nil:
+			elem.Status = http.StatusCreated
+		case errors.Is(err, store.ErrDuplicateID):
+			elem.Status = http.StatusConflict
+			elem.Error = fmt.Sprintf("worker %q already uploaded a session for this test", elem.WorkerID)
+		default:
+			// Infrastructure failure: like the single path, tell the client
+			// to retry the batch once the store has had a chance to recover.
+			report(guard.Failure)
+			if s.guard != nil {
+				writeShed(w, http.StatusServiceUnavailable, s.guard.RetryAfter(),
+					"storing batch failed: %v; retry after the indicated delay", err)
+			} else {
+				writeError(w, http.StatusInternalServerError, "storing batch: %v", err)
+			}
+			return false
+		}
+	}
+	st.pending = st.pending[:0]
+	st.pendIdx = st.pendIdx[:0]
+	return true
+}
+
+// finishBatch handles a stream-level failure: commit whatever validated
+// before the failure (partial accept), then answer with the failure status
+// and the report of everything that was reached.
+func (s *Server) finishBatch(w http.ResponseWriter, st *batchState, report func(guard.Outcome), status int, format string, args ...any) {
+	if !s.flushBatch(w, st, report) {
+		return
+	}
+	st.report.Error = fmt.Sprintf(format, args...)
+	s.noteBatchMetrics(st)
+	writeJSON(w, status, &st.report)
+}
+
+// noteBatchMetrics finalizes the report's counts and exports the batch
+// metrics.
+func (s *Server) noteBatchMetrics(st *batchState) {
+	for _, res := range st.report.Results {
+		switch res.Status {
+		case http.StatusCreated:
+			st.report.Accepted++
+		default:
+			st.report.Rejected++
+		}
+	}
+	if s.reg == nil {
+		return
+	}
+	for _, res := range st.report.Results {
+		s.reg.Counter("kscope_batch_sessions_total", "status", strconv.Itoa(res.Status)).Inc()
+	}
+	s.reg.Counter("kscope_batch_flushes_total").Add(int64(st.flushes))
+	s.reg.Histogram("kscope_batch_size", obs.DefSizeBuckets).Observe(float64(len(st.report.Results)))
+}

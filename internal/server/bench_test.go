@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -155,6 +156,132 @@ func BenchmarkConcludeIncremental(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchSessionPayload renders one upload with a unique worker id.
+func benchSessionPayload(b *testing.B, prep *aggregator.Prepared, workerID string) []byte {
+	b.Helper()
+	payload, err := json.Marshal(sampleUpload(prep, workerID, questionnaire.ChoiceLeft))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}
+
+// BenchmarkSessionUploadHTTP is the single-session hot path end to end:
+// decode, validate, score, marshal, insert — one POST per session. Payload
+// generation runs off the clock; allocs/op is the per-session handler cost.
+func BenchmarkSessionUploadHTTP(b *testing.B) {
+	srv, prep := prepTest(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		payload := benchSessionPayload(b, prep, fmt.Sprintf("bench-%09d", i))
+		req := httptest.NewRequest(http.MethodPost, "/api/tests/srv-test/sessions", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		b.StartTimer()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusCreated {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// batchBenchSessions is how many sessions each benchmark batch carries; the
+// recorded per-session budget in BENCH_server.json divides allocs/op by
+// this.
+const batchBenchSessions = 100
+
+// BenchmarkSessionBatchUploadHTTP is the batched hot path: one POST carries
+// batchBenchSessions sessions through the streaming decoder, pooled decode
+// state, and one WAL group commit. Divide allocs/op by batchBenchSessions
+// for the per-session figure the CI allocation budget gates on; the
+// sessions/s metric is the end-to-end rate including response rendering.
+func BenchmarkSessionBatchUploadHTTP(b *testing.B) {
+	srv, prep := prepTest(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		uploads := make([]SessionUpload, batchBenchSessions)
+		for j := range uploads {
+			uploads[j] = sampleUpload(prep, fmt.Sprintf("bench-%06d-%03d", i, j), questionnaire.ChoiceLeft)
+		}
+		payload, err := json.Marshal(uploads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/api/tests/srv-test/sessions:batch", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		b.StartTimer()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N*batchBenchSessions)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkSessionUploadFsync contrasts durable throughput: dir-backed
+// SyncAlways stores, singles (one fsync per session) vs one batch (one
+// group-commit fsync per hundred). This is the wall-clock case for the
+// batched endpoint — the fsync, not the allocator, dominates.
+func BenchmarkSessionUploadFsync(b *testing.B) {
+	b.Run("single", func(b *testing.B) {
+		db, err := store.Open(b.TempDir(), store.WithSyncPolicy(store.SyncAlways))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		coll := db.Collection(aggregator.ResponsesCollection)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			docs := benchBatchDocs(i)
+			b.StartTimer()
+			for _, doc := range docs {
+				if _, err := coll.InsertUnique(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		db, err := store.Open(b.TempDir(), store.WithSyncPolicy(store.SyncAlways))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		coll := db.Collection(aggregator.ResponsesCollection)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			docs := benchBatchDocs(i)
+			b.StartTimer()
+			_, errs := coll.InsertUniqueBatch(docs)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// benchBatchDocs builds one iteration's worth of owned documents.
+func benchBatchDocs(iter int) []store.Document {
+	docs := make([]store.Document, batchBenchSessions)
+	for j := range docs {
+		id := fmt.Sprintf("srv-test/fs-%06d-%03d", iter, j)
+		docs[j] = store.Document{
+			store.IDField: id,
+			"test_id":     "srv-test",
+			"worker_id":   id,
+			"session":     `{"worker_id":"` + id + `"}`,
+		}
+	}
+	return docs
 }
 
 // BenchmarkLoadInfoCached measures the repeated-loadInfo path: after the

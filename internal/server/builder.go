@@ -1,7 +1,7 @@
 package server
 
 import (
-	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -80,10 +80,22 @@ func BuildParams(req BuilderRequest) (*params.Test, error) {
 	return test, nil
 }
 
+// maxBuilderBytes caps a builder-request body. Builder documents are a few
+// kilobytes of test metadata; a megabyte is already generous, and without a
+// bound this endpoint would buffer arbitrarily large bodies.
+const maxBuilderBytes = 1 << 20
+
 // handleBuildParams is the POST /api/params/build endpoint.
 func (s *Server) handleBuildParams(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBuilderBytes)
 	var req BuilderRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"builder request exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding builder request: %v", err)
 		return
 	}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// errTrailingData rejects request bodies that carry bytes after the JSON
+// value. Historically the decoders stopped at the end of the first value
+// and silently accepted `{"..."}junk`; every decode surface (single upload,
+// builder, batch) now requires EOF after the value and answers 400.
+var errTrailingData = errors.New("trailing data after JSON value")
+
+// decodeStrict decodes exactly one JSON value from r into v and requires
+// EOF (modulo whitespace) after it.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return requireEOF(dec)
+}
+
+// requireEOF asserts a decoder's stream holds nothing but whitespace.
+func requireEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			return errTrailingData
+		}
+		return fmt.Errorf("%w: %v", errTrailingData, err)
+	}
+	return nil
+}
+
+// uploadPool recycles SessionUpload structs (and the slice capacity inside
+// them) across batch elements: the batch hot path decodes tens of
+// thousands of sessions per request, and a fresh struct + three fresh
+// slices per element is pure allocator churn.
+var uploadPool = sync.Pool{New: func() any { return new(SessionUpload) }}
+
+// resetForReuse zeroes the upload while keeping its slices' capacity. The
+// element zeroing (clear) matters for correctness, not just hygiene:
+// encoding/json decodes array elements into the existing backing array
+// without clearing them first, so a field absent from the wire would
+// otherwise inherit a value from a previous batch element.
+func (u *SessionUpload) resetForReuse() {
+	responses := u.Responses[:cap(u.Responses)]
+	clear(responses)
+	behaviors := u.Behaviors[:cap(u.Behaviors)]
+	clear(behaviors)
+	controls := u.Controls[:cap(u.Controls)]
+	clear(controls)
+	*u = SessionUpload{
+		Responses: responses[:0],
+		Behaviors: behaviors[:0],
+		Controls:  controls[:0],
+	}
+}
+
+// encodePool recycles the buffers sessions are re-marshaled into before
+// they are persisted.
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalSession renders the persisted form of a session — byte-identical
+// to json.Marshal on the same value — through a pooled buffer, returning
+// the one string copy that outlives the request (it is what lands in the
+// stored document).
+func marshalSession(u *SessionUpload) (string, error) {
+	buf := encodePool.Get().(*bytes.Buffer)
+	defer encodePool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(u); err != nil {
+		return "", err
+	}
+	// Encoder appends a newline json.Marshal does not produce.
+	return string(bytes.TrimSuffix(buf.Bytes(), []byte("\n"))), nil
+}
+
+// gzipPool recycles gzip inflaters across batch requests.
+var gzipPool sync.Pool
+
+// acquireGzip returns a pooled gzip reader reset onto r; release it with
+// releaseGzip.
+func acquireGzip(r io.Reader) (*gzip.Reader, error) {
+	if g, ok := gzipPool.Get().(*gzip.Reader); ok {
+		if err := g.Reset(r); err != nil {
+			gzipPool.Put(g)
+			return nil, err
+		}
+		return g, nil
+	}
+	return gzip.NewReader(r)
+}
+
+func releaseGzip(g *gzip.Reader) {
+	gzipPool.Put(g)
+}
+
+// budgetReader enforces the whole-batch decompressed-byte budget: a gzip
+// bomb inflates past the budget and hits errBatchBudget long before it can
+// exhaust memory, no matter how small its compressed form was.
+type budgetReader struct {
+	r io.Reader
+	// remaining is budget+1: like http.MaxBytesReader, one slack byte lets
+	// a stream of exactly budget bytes reach its real EOF while anything
+	// longer errors on the read after the budget is spent.
+	remaining int64
+}
+
+var errBatchBudget = errors.New("batch exceeds decompressed byte budget")
+
+func newBudgetReader(r io.Reader, budget int64) *budgetReader {
+	return &budgetReader{r: r, remaining: budget + 1}
+}
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, errBatchBudget
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}

@@ -92,6 +92,7 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	s.mux.HandleFunc("GET /api/tests/{id}/task", s.handleTask)
 	s.mux.HandleFunc("GET /api/tests/{id}/pages/{page}/{file...}", s.handlePageFile)
 	s.mux.HandleFunc("POST /api/tests/{id}/sessions", s.handleSessionUpload)
+	s.mux.HandleFunc("POST /api/tests/{id}/sessions:batch", s.handleSessionBatch)
 	s.mux.HandleFunc("GET /api/tests/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /builder", s.handleBuilderPage)
 	s.mux.HandleFunc("GET /dashboard/{id}", s.handleDashboard)
@@ -234,7 +235,7 @@ func RouteLabel(r *http.Request) string {
 			return m + " /api/tests/{id}"
 		}
 		switch tail := rest[i:]; {
-		case tail == "/task", tail == "/sessions", tail == "/results":
+		case tail == "/task", tail == "/sessions", tail == "/sessions:batch", tail == "/results":
 			return m + " /api/tests/{id}" + tail
 		case strings.HasPrefix(tail, "/pages/"):
 			return m + " /api/tests/{id}/pages"
@@ -472,6 +473,16 @@ func (u *SessionUpload) Validate(info *TestInfo) error {
 		if err := r.Validate(); err != nil {
 			return err
 		}
+		// A response carrying someone else's identifiers must not be
+		// persisted under this session: the stored raw is what conclusions
+		// and quality control replay, and a contradicting nested id would
+		// attribute the answer to the wrong test or worker.
+		if r.TestID != u.TestID {
+			return fmt.Errorf("response test_id %q contradicts session test %q", r.TestID, u.TestID)
+		}
+		if r.WorkerID != u.WorkerID {
+			return fmt.Errorf("response worker_id %q contradicts session worker %q", r.WorkerID, u.WorkerID)
+		}
 		if !valid[r.PageID] {
 			return fmt.Errorf("response references unknown page %q", r.PageID)
 		}
@@ -520,7 +531,7 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxSessionBytes)
 	var upload SessionUpload
-	if err := json.NewDecoder(r.Body).Decode(&upload); err != nil {
+	if err := decodeStrict(r.Body, &upload); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -536,27 +547,11 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestTimeout, "client canceled request: %v", err)
 		return
 	}
-	if upload.TestID == "" {
-		upload.TestID = testID
-	}
-	if err := upload.Validate(entry.info); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid session: %v", err)
-		return
-	}
-	// Score controls against storage. Clients never saw the expected
-	// answers, and a forged Expected must not survive.
-	for i := range upload.Controls {
-		exp, ok := entry.expected[upload.Controls[i].PageID]
-		if !ok {
-			writeError(w, http.StatusBadRequest,
-				"control outcome references non-control page %q", upload.Controls[i].PageID)
-			return
-		}
-		upload.Controls[i].Expected = exp
-	}
-	raw, err := json.Marshal(upload)
+	// Validate + score through the shared batch path so the two endpoints
+	// cannot drift: one implementation decides what a storable session is.
+	doc, err := s.buildSessionDoc(testID, entry, &upload)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encoding session: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Last disconnect check before the write: a canceled request must not
@@ -564,12 +559,6 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	if err := ctx.Err(); err != nil {
 		writeError(w, http.StatusRequestTimeout, "client canceled request: %v", err)
 		return
-	}
-	doc := store.Document{
-		store.IDField: testID + "/" + upload.WorkerID,
-		"test_id":     testID,
-		"worker_id":   upload.WorkerID,
-		"session":     string(raw),
 	}
 	if _, err := s.db.Collection(aggregator.ResponsesCollection).InsertUnique(doc); err != nil {
 		if errors.Is(err, store.ErrDuplicateID) {

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// InsertUniqueBatch stores many new documents under one lock hold and one
+// WAL group commit: every accepted record is framed into a single buffered
+// append, and the sync policy runs once for the whole batch instead of once
+// per document (under SyncAlways a batch of N costs one fsync, not N — the
+// group-commit win the batched upload path is built on).
+//
+// Semantics per document match InsertUnique: a document whose _id already
+// exists — in the collection or earlier in the same batch — fails with
+// ErrDuplicateID and changes nothing; ids are generated for documents that
+// lack one. Results are reported per document, aligned with docs: ids[i] is
+// the stored id ("" when rejected) and errs[i] the rejection (nil when
+// stored). A WAL write failure rejects every not-yet-duplicate document
+// with the same error, like a failed single insert would.
+//
+// Ownership: unlike Insert, the batch path takes ownership of the given
+// documents — they are normalized in place and stored without a defensive
+// deep copy, so the caller must not read or mutate them (or anything they
+// reference) after the call. This is what keeps the upload hot path off the
+// clone-by-JSON-round-trip floor; callers assembling documents from decoded
+// wire payloads own them by construction.
+func (c *Collection) InsertUniqueBatch(docs []Document) (ids []string, errs []error) {
+	ids = make([]string, len(docs))
+	errs = make([]error, len(docs))
+	if len(docs) == 0 {
+		return ids, errs
+	}
+	if c.db.isClosed() {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return ids, errs
+	}
+
+	type accepted struct {
+		pos int
+		id  string
+		doc Document
+	}
+	batch := make([]accepted, 0, len(docs))
+	pending := make(map[string]bool, len(docs))
+
+	c.mu.Lock()
+	var frames bytes.Buffer
+	for i, doc := range docs {
+		if doc == nil {
+			errs[i] = fmt.Errorf("store: nil document in batch (index %d)", i)
+			continue
+		}
+		normalizeDoc(doc)
+		id := doc.ID()
+		if id == "" {
+			c.seq++
+			id = "doc-" + strconv.FormatInt(c.seq, 10)
+			doc[IDField] = id
+		}
+		if _, exists := c.docs[id]; exists || pending[id] {
+			errs[i] = fmt.Errorf("%w: %s/%s", ErrDuplicateID, c.name, id)
+			continue
+		}
+		if c.db.dir != "" {
+			payload, err := json.Marshal(walRecord{Op: "put", ID: id, Doc: doc})
+			if err != nil {
+				errs[i] = fmt.Errorf("store: encoding WAL record: %w", err)
+				continue
+			}
+			frames.Write(frameRecord(payload))
+		}
+		pending[id] = true
+		batch = append(batch, accepted{pos: i, id: id, doc: doc})
+	}
+	if len(batch) == 0 {
+		c.mu.Unlock()
+		return ids, errs
+	}
+	if err := c.appendWALBatch(frames.Bytes(), len(batch)); err != nil {
+		for _, a := range batch {
+			errs[a.pos] = err
+		}
+		c.mu.Unlock()
+		return ids, errs
+	}
+	for _, a := range batch {
+		c.docs[a.id] = a.doc
+		c.addToIndexes(a.id, a.doc)
+		ids[a.pos] = a.id
+	}
+	c.maybeCompactLocked()
+	fns := c.onChange
+	c.mu.Unlock()
+	for _, a := range batch {
+		c.notify(fns, OpPut, a.id)
+	}
+	return ids, errs
+}
+
+// appendWALBatch writes n pre-framed records in one Write and applies the
+// sync policy once for the whole group. Called with c.mu held. frames is
+// empty (and the call a no-op beyond accounting) on a memory-only database.
+func (c *Collection) appendWALBatch(frames []byte, n int) error {
+	if c.db.dir == "" {
+		return nil
+	}
+	if c.wal == nil {
+		f, err := c.db.opts.fs.OpenAppend(c.db.collectionPath(c.name))
+		if err != nil {
+			return err
+		}
+		c.wal = &walFile{file: f, db: c.db, lastSync: time.Now()}
+	}
+	if err := c.wal.appendGroup(frames, n); err != nil {
+		return err
+	}
+	c.appends += n
+	return nil
+}

@@ -226,6 +226,32 @@ func (w *walFile) append(payload []byte) error {
 	return nil
 }
 
+// appendGroup writes n pre-framed records in one Write and runs the sync
+// policy once for the whole group — the group-commit primitive behind
+// Collection.InsertUniqueBatch. Under SyncAlways a batch still costs a
+// single fsync; under SyncInterval the group counts as one append against
+// the interval clock.
+func (w *walFile) appendGroup(frames []byte, n int) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if _, err := w.file.Write(frames); err != nil {
+		return fmt.Errorf("store: appending WAL batch: %w", err)
+	}
+	w.db.walAppends.Add(int64(n))
+	switch w.db.opts.policy {
+	case SyncAlways:
+		return w.sync()
+	case SyncNever:
+		return nil
+	default:
+		if time.Since(w.lastSync) >= w.db.opts.interval {
+			return w.sync()
+		}
+	}
+	return nil
+}
+
 func (w *walFile) sync() error {
 	start := time.Now()
 	err := w.file.Sync()

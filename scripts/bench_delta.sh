@@ -1,0 +1,134 @@
+#!/bin/sh
+# bench_delta.sh — run the acceptance benchmarks and fail if any recorded
+# floor regresses. Raw ns/op is machine-dependent, so the gates are the
+# numbers that travel: allocation counts against the figures recorded in
+# BENCH_*.json, the batched upload's per-session allocation budget, the
+# incremental-results speedup over the from-scratch oracle, and (on >=4
+# cores) the parallel Prepare speedup over the sequential reference.
+#
+#   ALLOC_SLACK       multiplier over recorded allocs/op (default 1.25)
+#   BATCH_ALLOC_BUDGET  max allocs per session through the batch endpoint
+#                       (default 40; recorded ~22)
+#   INCR_FLOOR        min incremental-over-scratch speedup at 10k (default 10)
+#   PAR_FLOOR         min parallel-over-sequential Prepare speedup when
+#                     NumCPU >= 4 (default 1.8)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ALLOC_SLACK=${ALLOC_SLACK:-1.25}
+BATCH_ALLOC_BUDGET=${BATCH_ALLOC_BUDGET:-40}
+INCR_FLOOR=${INCR_FLOOR:-10}
+PAR_FLOOR=${PAR_FLOOR:-1.8}
+BATCH_SESSIONS=100 # keep in sync with batchBenchSessions in bench_test.go
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_delta: running server benchmarks..."
+go test -run '^$' \
+    -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP)$' \
+    -benchmem -benchtime 10x ./internal/server/ >"$tmp/server.txt"
+echo "bench_delta: running aggregator benchmarks..."
+go test -run '^$' -bench 'BenchmarkPrepare(Sequential|Parallel)$' \
+    -benchmem -benchtime 3x ./internal/aggregator/ >"$tmp/aggregator.txt"
+
+# parse_bench: "<name> <ns/op> <allocs/op>" per benchmark line, with the
+# -GOMAXPROCS suffix stripped from the name.
+parse_bench() {
+    awk '
+        /^Benchmark/ {
+            ns = ""; allocs = ""
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op") ns = $(i - 1)
+                if ($i == "allocs/op") allocs = $(i - 1)
+            }
+            sub(/-[0-9]+$/, "", $1)
+            print $1, ns, allocs
+        }
+    ' "$1"
+}
+parse_bench "$tmp/server.txt" >"$tmp/server.tsv"
+parse_bench "$tmp/aggregator.txt" >"$tmp/aggregator.tsv"
+
+# live FILE NAME FIELD -> the measured value (ns=2, allocs=3).
+live() {
+    awk -v name="$2" -v f="$3" '$1 == name { print $f; exit }' "$1"
+}
+
+# recorded JSONFILE NAME -> the allocs_per_op recorded for that benchmark.
+recorded() {
+    awk -v name="$2" '
+        index($0, "\"name\": \"" name "\"") { found = 1 }
+        found && /"allocs_per_op"/ { gsub(/[^0-9]/, ""); print; exit }
+    ' "$1"
+}
+
+status=0
+fail() { echo "bench_delta: FAIL $*" >&2; status=1; }
+ok() { echo "bench_delta: ok   $*"; }
+
+# Gate 1: allocation counts must stay within ALLOC_SLACK of the recorded
+# figures — allocs/op is deterministic enough to compare across machines.
+for f in server aggregator; do
+    while read -r name ns allocs; do
+        [ -n "$allocs" ] || continue
+        rec=$(recorded "BENCH_$f.json" "$name")
+        [ -n "$rec" ] || continue
+        if awk -v a="$allocs" -v r="$rec" -v s="$ALLOC_SLACK" \
+            'BEGIN { exit !(a <= r * s || a <= r + 8) }'; then
+            ok "$name allocs/op $allocs (recorded $rec, slack x$ALLOC_SLACK)"
+        else
+            fail "$name allocs/op $allocs exceeds recorded $rec x$ALLOC_SLACK"
+        fi
+    done <"$tmp/$f.tsv"
+done
+
+# Gate 2: the batched upload's per-session allocation budget.
+batch_allocs=$(live "$tmp/server.tsv" BenchmarkSessionBatchUploadHTTP 3)
+if [ -z "$batch_allocs" ]; then
+    fail "BenchmarkSessionBatchUploadHTTP did not run"
+else
+    per=$(awk -v a="$batch_allocs" -v n="$BATCH_SESSIONS" 'BEGIN { printf "%.1f", a / n }')
+    if awk -v p="$per" -v b="$BATCH_ALLOC_BUDGET" 'BEGIN { exit !(p <= b) }'; then
+        ok "batch upload $per allocs/session (budget $BATCH_ALLOC_BUDGET)"
+    else
+        fail "batch upload $per allocs/session exceeds budget $BATCH_ALLOC_BUDGET"
+    fi
+fi
+
+# Gate 3: incremental results must stay >= INCR_FLOOR x over the
+# from-scratch oracle at 10k stored sessions.
+scratch=$(live "$tmp/server.tsv" 'BenchmarkConcludeScratch/sessions=10000' 2)
+incr=$(live "$tmp/server.tsv" 'BenchmarkConcludeIncremental/sessions=10000' 2)
+if [ -n "$scratch" ] && [ -n "$incr" ]; then
+    speedup=$(awk -v s="$scratch" -v i="$incr" 'BEGIN { printf "%.1f", s / i }')
+    if awk -v x="$speedup" -v f="$INCR_FLOOR" 'BEGIN { exit !(x >= f) }'; then
+        ok "incremental ${speedup}x over scratch at 10k (floor ${INCR_FLOOR}x)"
+    else
+        fail "incremental ${speedup}x over scratch at 10k is under the ${INCR_FLOOR}x floor"
+    fi
+else
+    fail "conclude benchmarks did not run"
+fi
+
+# Gate 4: parallel Prepare speedup — only meaningful with real cores.
+cpus=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
+seq_ns=$(live "$tmp/aggregator.tsv" BenchmarkPrepareSequential 2)
+par_ns=$(live "$tmp/aggregator.tsv" BenchmarkPrepareParallel 2)
+if [ -n "$seq_ns" ] && [ -n "$par_ns" ]; then
+    speedup=$(awk -v s="$seq_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
+    if [ "$cpus" -ge 4 ]; then
+        if awk -v x="$speedup" -v f="$PAR_FLOOR" 'BEGIN { exit !(x >= f) }'; then
+            ok "parallel Prepare ${speedup}x over sequential on $cpus cores (floor ${PAR_FLOOR}x)"
+        else
+            fail "parallel Prepare ${speedup}x on $cpus cores is under the ${PAR_FLOOR}x floor"
+        fi
+    else
+        echo "bench_delta: skip parallel Prepare floor on $cpus core(s): measured ${speedup}x (informational)"
+    fi
+else
+    fail "Prepare benchmarks did not run"
+fi
+
+exit $status
