@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,13 @@ bench-aggregator:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare(Sequential|Parallel)$$' -benchmem -count=3 \
 		./internal/aggregator/
 
-# The PR-4/PR-6 acceptance benchmarks; record results in BENCH_server.json
-# (the incremental results engine must stay >=10x over the from-scratch
-# oracle at 10k stored sessions, and the batched upload under its
-# per-session allocation budget — see that file's notes).
+# The PR-4/PR-6/PR-7 acceptance benchmarks; record results in
+# BENCH_server.json (the incremental results engine must stay >=10x over
+# the from-scratch oracle at 10k stored sessions, the batched upload under
+# its per-session allocation budget, and the replicated AckFollower upload
+# within 10x of the durable no-follower baseline — see that file's notes).
 bench-server:
-	$(GO) test -run '^$$' -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP)$$|BenchmarkSessionUploadFsync' \
+	$(GO) test -run '^$$' -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP|UploadDurable|UploadReplicated)$$|BenchmarkSessionUploadFsync' \
 		-benchmem -benchtime 10x ./internal/server/
 
 # Just the upload hot-path pair: single endpoint vs the batched streaming
@@ -71,7 +72,8 @@ bench-batch:
 # Benchmark regression gate: re-runs the acceptance benchmarks and fails on
 # any recorded-floor regression — allocation counts vs BENCH_*.json, the
 # batch upload's 40 allocs/session budget, the >=10x incremental speedup,
-# and (with >=4 cores) the >=1.8x parallel Prepare speedup.
+# (with >=4 cores) the >=1.8x parallel Prepare speedup, and the replicated
+# upload's 10x overhead budget with zero post-ack replication lag.
 bench-delta:
 	./scripts/bench_delta.sh
 
@@ -87,6 +89,16 @@ load-smoke:
 # still end with zero lost workers and oracle-equal results.
 overload-smoke:
 	$(GO) run ./cmd/kscope-load -scenario overload -workers 15 -seed 7 -drop 0.05 -fault 0.05
+
+# Warm-standby failover acceptance, under the race detector: a replicated
+# primary (AckFollower, chaos on both the fleet links and the replication
+# link) is killed mid-soak, the follower is promoted, and the fleet fails
+# over to it. Fails on any acked-but-lost session, any status outside the
+# documented matrix (200/201/409/429/503 with Retry-After), a missing
+# stale-epoch rejection of the zombie primary, or incremental-vs-oracle
+# divergence on the promoted node.
+failover-smoke:
+	$(GO) run -race ./cmd/kscope-load -scenario failover -workers 25 -seed 7 -drop 0.15 -fault 0.1
 
 # Batched-upload throughput acceptance: the fleet ships gzip batches through
 # POST /tests/{id}/sessions:batch, the run fails if the batched endpoint

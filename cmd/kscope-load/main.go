@@ -77,7 +77,7 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), or throughput (batched uploads, sessions/sec report)")
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), or failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -99,8 +99,10 @@ func run(args []string, out io.Writer) error {
 		return overload(cfg, out)
 	case "throughput":
 		return throughput(cfg, out)
+	case "failover":
+		return failover(cfg, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want soak, overload, or throughput)", cfg.scenario)
+		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, or failover)", cfg.scenario)
 	}
 }
 
@@ -238,7 +240,21 @@ func buildServer() (*server.Server, *obs.Registry, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	test := &params.Test{
+	if _, err := agg.Prepare(loadTest(), loadSites(), nil); err != nil {
+		return nil, nil, err
+	}
+	reg := obs.NewRegistry()
+	srv, err := server.New(db, blobs, server.WithObservability(reg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, reg, nil
+}
+
+// loadTest is the fixture study every scenario runs: a two-version
+// font-size comparison.
+func loadTest() *params.Test {
+	return &params.Test{
 		TestID:          testID,
 		WebpageNum:      2,
 		TestDescription: "kscope-load soak study",
@@ -249,19 +265,14 @@ func buildServer() (*server.Server, *obs.Registry, error) {
 			{WebPath: "wiki-22", WebPageLoad: params.PageLoadSpec{UniformMillis: 1000}, WebMainFile: "index.html"},
 		},
 	}
-	sites := map[string]*webgen.Site{
+}
+
+// loadSites generates the two integrated pages the fixture study compares.
+func loadSites() map[string]*webgen.Site {
+	return map[string]*webgen.Site{
 		"wiki-12": webgen.WikiArticle(webgen.WikiConfig{Seed: 5, FontSizePt: 12}),
 		"wiki-22": webgen.WikiArticle(webgen.WikiConfig{Seed: 5, FontSizePt: 22}),
 	}
-	if _, err := agg.Prepare(test, sites, nil); err != nil {
-		return nil, nil, err
-	}
-	reg := obs.NewRegistry()
-	srv, err := server.New(db, blobs, server.WithObservability(reg))
-	if err != nil {
-		return nil, nil, err
-	}
-	return srv, reg, nil
 }
 
 // verifyOracle is the exit assertion: the incremental results the HTTP

@@ -57,10 +57,30 @@ func run(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "admission-control base concurrency K (uploads get K, reads 4K, results K/4; 0 disables the guard)")
 	rate := fs.Float64("rate", 0, "per-worker request rate limit in req/s (0 disables rate limiting)")
 	burst := fs.Float64("burst", 0, "per-worker rate-limit burst (default 2x rate)")
+	rc := replConfig{}
+	fs.StringVar(&rc.replicateTo, "replicate-to", "", "warm-standby URL to stream the WAL to (makes this node the primary)")
+	fs.StringVar(&rc.replicaOf, "replica-of", "", "primary URL this node stands by for (runs the /repl/* surface only; SIGUSR1 promotes)")
+	fs.Uint64Var(&rc.epoch, "epoch", 1, "replication epoch this primary serves in (a promoted standby starts past its predecessor)")
+	fs.StringVar(&rc.ackMode, "repl-ack", "follower", "replication ack mode: follower (acknowledge uploads only after the standby applied them) or local")
+	fs.Uint64Var(&rc.maxLag, "repl-max-lag", 0, "report not-ready on /readyz when the standby trails more than this many frames (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	handler, cleanup, err := buildHandler(*storeDir, *quiet, guardConfig(*maxInflight, *rate, *burst))
+	if err := rc.validate(); err != nil {
+		return err
+	}
+	gcfg := guardConfig(*maxInflight, *rate, *burst)
+	var handler http.Handler
+	var cleanup func()
+	var err error
+	switch {
+	case rc.replicaOf != "":
+		handler, cleanup, err = buildStandby(*storeDir, *quiet, gcfg)
+	case rc.replicateTo != "":
+		handler, cleanup, err = buildPrimary(*storeDir, *quiet, gcfg, rc)
+	default:
+		handler, cleanup, err = buildHandler(*storeDir, *quiet, gcfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -136,21 +156,34 @@ func buildHandler(storeDir string, quiet bool, gcfg *guard.Config) (http.Handler
 	if err != nil {
 		return nil, nil, err
 	}
-	blobs, err := store.OpenBlobStore(filepath.Join(storeDir, "blobs"))
+	handler, cleanup, err := assembleHandler(db, storeDir, quiet, gcfg, obs.NewRegistry())
 	if err != nil {
 		db.Close()
 		return nil, nil, err
 	}
-	reg := obs.NewRegistry()
+	return handler, cleanup, nil
+}
+
+// assembleHandler builds the serving stack — blob store, guard, core
+// server, logging middleware — around an already-open database. The
+// replication paths reuse it with their extra server options (epoch
+// advertisement, fencing, lag-aware readiness). The returned cleanup
+// closes the database.
+func assembleHandler(db *store.DB, storeDir string, quiet bool, gcfg *guard.Config,
+	reg *obs.Registry, extra ...server.Option) (http.Handler, func(), error) {
+	blobs, err := store.OpenBlobStore(filepath.Join(storeDir, "blobs"))
+	if err != nil {
+		return nil, nil, err
+	}
 	opts := []server.Option{server.WithObservability(reg)}
 	if gcfg != nil {
 		g := guard.New(*gcfg)
 		g.RegisterMetrics(reg)
 		opts = append(opts, server.WithGuard(g))
 	}
+	opts = append(opts, extra...)
 	srv, err := server.New(db, blobs, opts...)
 	if err != nil {
-		db.Close()
 		return nil, nil, err
 	}
 	var logger *slog.Logger

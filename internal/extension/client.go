@@ -14,6 +14,7 @@ package extension
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,8 +42,17 @@ const WorkerIDHeader = guard.WorkerIDHeader
 // must be. When a 429/503 carries a Retry-After header the client honors
 // the server's delay (capped at maxRetryAfter) instead of its own backoff.
 type Client struct {
-	baseURL string
+	// bases holds the primary base URL plus any failover targets; baseIdx
+	// (mod len) is the one requests currently go to. A transport error, a
+	// retryable status, or a fenced/stale-epoch response rotates to the
+	// next base before the retry — that rotation IS the client half of
+	// failover.
+	bases   []string
+	baseIdx atomic.Int64
 	httpc   *http.Client
+	// ctx, when set, cancels retry waits and in-flight requests: a fleet
+	// shutting down must not sit out a capped Retry-After first.
+	ctx context.Context
 	// retries is the number of extra attempts after a retryable failure.
 	retries int
 	// backoff is the base delay before the first retry; it doubles per
@@ -59,6 +69,12 @@ type Client struct {
 	reg      *obs.Registry
 
 	retryAttempts atomic.Int64
+	failovers     atomic.Int64
+	// maxEpoch is the highest replication epoch any response has carried.
+	// A node answering from a lower epoch is a deposed primary: its
+	// acks would not survive the promoted timeline, so the client rotates
+	// away from it.
+	maxEpoch atomic.Uint64
 }
 
 // Defaults for the retry and transport budget.
@@ -115,6 +131,29 @@ func WithMaxRetryAfter(d time.Duration) ClientOption {
 	}
 }
 
+// WithFailover adds alternate base URLs (the warm standby, typically).
+// Retries rotate through them round-robin after transport errors,
+// retryable statuses, and fenced responses.
+func WithFailover(urls ...string) ClientOption {
+	return func(c *Client) {
+		for _, u := range urls {
+			if u != "" {
+				c.bases = append(c.bases, u)
+			}
+		}
+	}
+}
+
+// WithContext bounds every request and retry wait by ctx: cancellation
+// aborts in-flight requests and cuts backoff/Retry-After sleeps short.
+func WithContext(ctx context.Context) ClientOption {
+	return func(c *Client) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
 // NewClient returns a client for a core server at baseURL (e.g.
 // "http://127.0.0.1:8080"). A nil httpc gets a client with a sane overall
 // timeout — never http.DefaultClient, which would wait forever on a dead
@@ -127,8 +166,9 @@ func NewClient(baseURL string, httpc *http.Client, opts ...ClientOption) (*Clien
 		httpc = &http.Client{Timeout: defaultTimeout}
 	}
 	c := &Client{
-		baseURL:       baseURL,
+		bases:         []string{baseURL},
 		httpc:         httpc,
+		ctx:           context.Background(),
 		retries:       defaultRetries,
 		backoff:       defaultBackoff,
 		maxRetryAfter: defaultMaxRetryAfter,
@@ -142,29 +182,91 @@ func NewClient(baseURL string, httpc *http.Client, opts ...ClientOption) (*Clien
 // RetryAttempts reports how many retries this client has performed.
 func (c *Client) RetryAttempts() int64 { return c.retryAttempts.Load() }
 
-// noteRetry records one retry attempt and sleeps before the next one. When
+// Failovers reports how many times the client rotated to another base URL.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
+// Epoch returns the highest replication epoch seen on any response (0
+// before the first epoch-bearing response).
+func (c *Client) Epoch() uint64 { return c.maxEpoch.Load() }
+
+// BaseURL returns the base requests currently target.
+func (c *Client) BaseURL() string {
+	return c.bases[int(c.baseIdx.Load()%int64(len(c.bases)))]
+}
+
+// baseFor pins the base for one attempt; rotateFrom advances past it.
+func (c *Client) baseFor() (string, int64) {
+	idx := c.baseIdx.Load()
+	return c.bases[int(idx%int64(len(c.bases)))], idx
+}
+
+// rotateFrom moves to the next base, but only if no other goroutine moved
+// first — concurrent failures must not skip past a healthy base.
+func (c *Client) rotateFrom(idx int64) {
+	if len(c.bases) > 1 && c.baseIdx.CompareAndSwap(idx, idx+1) {
+		c.failovers.Add(1)
+	}
+}
+
+// observeResponse folds a response's replication headers into the client's
+// view. It returns true when the node should be abandoned for this
+// attempt: it declared itself fenced, or it answered from an epoch older
+// than one the client has already seen (a deposed primary that does not
+// know it yet).
+func (c *Client) observeResponse(resp *http.Response) bool {
+	stale := resp.Header.Get(server.FencedHeader) == "1"
+	if v := resp.Header.Get(server.EpochHeader); v != "" {
+		if e, err := strconv.ParseUint(v, 10, 64); err == nil {
+			for {
+				cur := c.maxEpoch.Load()
+				if e <= cur {
+					if e < cur {
+						stale = true
+					}
+					break
+				}
+				if c.maxEpoch.CompareAndSwap(cur, e) {
+					break
+				}
+			}
+		}
+	}
+	return stale
+}
+
+// noteRetry records one retry attempt and waits before the next one. When
 // the failed response carried a usable Retry-After, the server's delay
 // (capped at maxRetryAfter) wins over the client's own jittered exponential
 // backoff — the server knows when its overload will clear; the client does
-// not.
-func (c *Client) noteRetry(attempt int, serverDelay time.Duration) {
+// not. The wait is cut short (and an error returned) when the client's
+// context is cancelled: shutdown must not wait out someone else's backoff.
+func (c *Client) noteRetry(attempt int, serverDelay time.Duration) error {
 	c.retryAttempts.Add(1)
 	if c.reg != nil {
 		c.reg.Counter(MetricRetries).Inc()
 	}
+	var d time.Duration
 	if serverDelay > 0 {
-		if serverDelay > c.maxRetryAfter {
-			serverDelay = c.maxRetryAfter
+		d = serverDelay
+		if d > c.maxRetryAfter {
+			d = c.maxRetryAfter
 		}
-		time.Sleep(serverDelay)
-		return
+	} else {
+		d = c.backoff << (attempt - 1)
+		if d > maxBackoff {
+			d = maxBackoff
+		}
+		// ±50% jitter decorrelates a fleet of extensions retrying at once.
+		d = time.Duration(float64(d) * (0.5 + rand.Float64()))
 	}
-	d := c.backoff << (attempt - 1)
-	if d > maxBackoff {
-		d = maxBackoff
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.ctx.Done():
+		return fmt.Errorf("extension: retry abandoned: %w", c.ctx.Err())
 	}
-	// ±50% jitter decorrelates a fleet of extensions retrying at once.
-	time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
 }
 
 // parseRetryAfter reads a Retry-After header in either RFC 9110 form:
@@ -197,23 +299,30 @@ func retryable(status int) bool {
 	return status >= 500 || status == http.StatusTooManyRequests
 }
 
-// get issues a GET with retries and decodes errors uniformly.
+// get issues a GET with retries (rotating bases on failure) and decodes
+// errors uniformly.
 func (c *Client) get(path string) ([]byte, error) {
 	var lastErr error
 	var serverDelay time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			c.noteRetry(attempt, serverDelay)
+			if err := c.noteRetry(attempt, serverDelay); err != nil {
+				return nil, err
+			}
 		}
-		body, status, retryAfter, err := c.getOnce(path)
+		base, idx := c.baseFor()
+		body, status, retryAfter, stale, err := c.getOnce(base, path)
 		serverDelay = retryAfter
 		switch {
 		case err != nil:
-			lastErr = err // transport error: retry
-		case status == http.StatusOK:
+			lastErr = err // transport error: rotate and retry
+			c.rotateFrom(idx)
+		case status == http.StatusOK && !stale:
 			return body, nil
-		case retryable(status):
-			lastErr = fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
+		case retryable(status) || stale:
+			lastErr = fmt.Errorf("extension: GET %s%s: status %d (stale=%t): %s",
+				base, path, status, stale, truncate(body, 200))
+			c.rotateFrom(idx)
 		default:
 			// Other 4xx is definitive; do not retry.
 			return nil, fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
@@ -222,25 +331,26 @@ func (c *Client) get(path string) ([]byte, error) {
 	return nil, lastErr
 }
 
-func (c *Client) getOnce(path string) ([]byte, int, time.Duration, error) {
-	req, err := http.NewRequest(http.MethodGet, c.baseURL+path, nil)
+func (c *Client) getOnce(base, path string) ([]byte, int, time.Duration, bool, error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, base+path, nil)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("extension: GET %s: %w", path, err)
+		return nil, 0, 0, false, fmt.Errorf("extension: GET %s: %w", path, err)
 	}
 	if c.workerID != "" {
 		req.Header.Set(WorkerIDHeader, c.workerID)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("extension: GET %s: %w", path, err)
+		return nil, 0, 0, false, fmt.Errorf("extension: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	stale := c.observeResponse(resp)
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("extension: reading %s: %w", path, err)
+		return nil, 0, 0, stale, fmt.Errorf("extension: reading %s: %w", path, err)
 	}
 	retryAfter, _ := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
-	return body, resp.StatusCode, retryAfter, nil
+	return body, resp.StatusCode, retryAfter, stale, nil
 }
 
 func truncate(b []byte, n int) string {
@@ -293,15 +403,18 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		}
 		payload = buf.Bytes()
 	}
-	url := c.baseURL + "/api/tests/" + testID + "/sessions:batch"
+	path := "/api/tests/" + testID + "/sessions:batch"
 	var lastErr error
 	var serverDelay time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			c.noteRetry(attempt, serverDelay)
+			if err := c.noteRetry(attempt, serverDelay); err != nil {
+				return nil, err
+			}
 			serverDelay = 0
 		}
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+		base, idx := c.baseFor()
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, base+path, bytes.NewReader(payload))
 		if err != nil {
 			return nil, fmt.Errorf("extension: uploading batch: %w", err)
 		}
@@ -315,8 +428,10 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: uploading batch: %w", err)
+			c.rotateFrom(idx)
 			continue
 		}
+		c.observeResponse(resp)
 		body, _ := io.ReadAll(resp.Body)
 		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		resp.Body.Close()
@@ -331,6 +446,7 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: batch upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
+			c.rotateFrom(idx)
 		default:
 			// Definitive failure (400/408/413): the report — when the server
 			// produced one — says which elements still committed.
@@ -356,15 +472,18 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 	if err != nil {
 		return fmt.Errorf("extension: encoding session: %w", err)
 	}
-	url := c.baseURL + "/api/tests/" + testID + "/sessions"
+	path := "/api/tests/" + testID + "/sessions"
 	var lastErr error
 	var serverDelay time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			c.noteRetry(attempt, serverDelay)
+			if err := c.noteRetry(attempt, serverDelay); err != nil {
+				return err
+			}
 			serverDelay = 0
 		}
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+		base, idx := c.baseFor()
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, base+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("extension: uploading session: %w", err)
 		}
@@ -375,8 +494,10 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: uploading session: %w", err)
+			c.rotateFrom(idx)
 			continue
 		}
+		c.observeResponse(resp)
 		body, _ := io.ReadAll(resp.Body)
 		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		resp.Body.Close()
@@ -384,11 +505,13 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 		case resp.StatusCode == http.StatusCreated:
 			return nil
 		case resp.StatusCode == http.StatusConflict:
-			// Duplicate by worker id: already stored.
+			// Duplicate by worker id: already stored (possibly by the node
+			// a failed-over attempt reached first).
 			return nil
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
+			c.rotateFrom(idx)
 		default:
 			return fmt.Errorf("extension: upload rejected: status %d: %s",
 				resp.StatusCode, truncate(body, 200))

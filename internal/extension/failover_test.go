@@ -1,0 +1,192 @@
+package extension
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaleidoscope/internal/server"
+)
+
+// TestClientRotatesOnTransportError: a dead primary must rotate the client
+// onto its failover base, and the request must succeed there.
+func TestClientRotatesOnTransportError(t *testing.T) {
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"test_id":"t","questions":["q"]}`)
+	}))
+	defer standby.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // a primary that is already gone
+
+	c, err := NewClient(dead.URL, &http.Client{Timeout: time.Second},
+		WithRetries(3), WithBackoff(time.Millisecond), WithFailover(standby.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.TestInfo("t")
+	if err != nil {
+		t.Fatalf("TestInfo through failover: %v", err)
+	}
+	if info.TestID != "t" {
+		t.Errorf("info = %+v", info)
+	}
+	if c.Failovers() == 0 {
+		t.Error("rotation not recorded")
+	}
+	if c.BaseURL() != standby.URL {
+		t.Errorf("client still points at %s, want %s", c.BaseURL(), standby.URL)
+	}
+}
+
+// TestClientRotatesOnFencedResponse: a deposed primary answers writes 503
+// with X-Kscope-Fenced; the client must treat that as "fail over", not
+// "retry here", and land the upload on the standby.
+func TestClientRotatesOnFencedResponse(t *testing.T) {
+	var fencedHits, standbyHits atomic.Int64
+	fenced := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fencedHits.Add(1)
+		w.Header().Set(server.EpochHeader, "1")
+		w.Header().Set(server.FencedHeader, "1")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "fenced", http.StatusServiceUnavailable)
+	}))
+	defer fenced.Close()
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		standbyHits.Add(1)
+		w.Header().Set(server.EpochHeader, "2")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"status":"stored"}`)
+	}))
+	defer standby.Close()
+
+	c, err := NewClient(fenced.URL, &http.Client{Timeout: time.Second},
+		WithRetries(3), WithBackoff(time.Millisecond), WithMaxRetryAfter(time.Millisecond),
+		WithFailover(standby.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadSession("t", server.SessionUpload{TestID: "t", WorkerID: "w"}); err != nil {
+		t.Fatalf("upload through fenced failover: %v", err)
+	}
+	if standbyHits.Load() != 1 {
+		t.Errorf("standby hits = %d, want 1", standbyHits.Load())
+	}
+	if c.Epoch() != 2 {
+		t.Errorf("observed epoch = %d, want 2", c.Epoch())
+	}
+}
+
+// TestClientRotatesAwayFromStaleEpoch: once the client has seen epoch 2,
+// a 200 from an epoch-1 node (a zombie primary serving stale reads) must
+// be retried elsewhere rather than trusted.
+func TestClientRotatesAwayFromStaleEpoch(t *testing.T) {
+	var staleHits atomic.Int64
+	stale := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		staleHits.Add(1)
+		w.Header().Set(server.EpochHeader, "1")
+		fmt.Fprint(w, `{"test_id":"stale"}`)
+	}))
+	defer stale.Close()
+	fresh := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.EpochHeader, "2")
+		fmt.Fprint(w, `{"test_id":"fresh","questions":["q"]}`)
+	}))
+	defer fresh.Close()
+
+	c, err := NewClient(stale.URL, &http.Client{Timeout: time.Second},
+		WithRetries(3), WithBackoff(time.Millisecond), WithFailover(fresh.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First fetch lands on the stale node and is accepted — nothing newer
+	// has been seen yet.
+	if _, err := c.TestInfo("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Learn epoch 2 from the fresh node.
+	c.rotateFrom(0)
+	if _, err := c.TestInfo("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Back on the stale node: its 200 must now be rejected and retried on
+	// the fresh one.
+	c.rotateFrom(1)
+	info, err := c.TestInfo("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TestID != "fresh" {
+		t.Errorf("client accepted a stale-epoch answer: %+v", info)
+	}
+}
+
+// TestClientContextCancelsRetryWait: a canceled fleet context must abort a
+// client sitting out a server-imposed Retry-After instead of sleeping it
+// out — extension shutdown cannot wait for the server's clock.
+func TestClientContextCancelsRetryWait(t *testing.T) {
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer shed.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := NewClient(shed.URL, &http.Client{Timeout: time.Second},
+		WithRetries(5), WithBackoff(time.Millisecond),
+		WithMaxRetryAfter(time.Minute), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.TestInfo("t")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch must fail once the context is canceled")
+	}
+	if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("err = %v, want a context cancellation", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the retry wait ignored the context", elapsed)
+	}
+}
+
+// TestClientContextCancelsUploadRetryWait is the same guarantee on the
+// upload path — the one a shutting-down fleet is most likely stuck in.
+func TestClientContextCancelsUploadRetryWait(t *testing.T) {
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer shed.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := NewClient(shed.URL, &http.Client{Timeout: time.Second},
+		WithRetries(5), WithBackoff(time.Millisecond),
+		WithMaxRetryAfter(time.Minute), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = c.UploadSession("t", server.SessionUpload{TestID: "t", WorkerID: "w"})
+	if err == nil {
+		t.Fatal("upload must fail once the context is canceled")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the retry wait ignored the context", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package extension
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,6 +23,13 @@ import (
 type Fleet struct {
 	// BaseURL is the core server's address (e.g. a httptest.Server URL).
 	BaseURL string
+	// FailoverURLs lists standby addresses each worker's client may rotate
+	// to when BaseURL stops answering or turns out to be a fenced, deposed
+	// primary. Order matters: clients walk the ring BaseURL → FailoverURLs.
+	FailoverURLs []string
+	// Context, when set, cancels in-flight requests and retry waits for
+	// every worker client — the fleet-wide shutdown switch.
+	Context context.Context
 	// Answer decides every comparison (see the Answer* constructors).
 	Answer AnswerFunc
 	// Seed derives one independent RNG stream per worker (Seed + index),
@@ -206,6 +214,12 @@ func (f *Fleet) newBatcher(testID string, record func(WorkerResult)) (*sessionBa
 	if f.Registry != nil {
 		opts = append(opts, WithMetrics(f.Registry))
 	}
+	if len(f.FailoverURLs) > 0 {
+		opts = append(opts, WithFailover(f.FailoverURLs...))
+	}
+	if f.Context != nil {
+		opts = append(opts, WithContext(f.Context))
+	}
 	client, err := NewClient(f.BaseURL, httpc, opts...)
 	if err != nil {
 		return nil, err
@@ -284,6 +298,12 @@ func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker, buildO
 	}
 	if f.Registry != nil {
 		opts = append(opts, WithMetrics(f.Registry))
+	}
+	if len(f.FailoverURLs) > 0 {
+		opts = append(opts, WithFailover(f.FailoverURLs...))
+	}
+	if f.Context != nil {
+		opts = append(opts, WithContext(f.Context))
 	}
 	client, err := NewClient(f.BaseURL, httpc, opts...)
 	if err != nil {

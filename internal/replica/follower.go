@@ -1,0 +1,450 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"kaleidoscope/internal/obs"
+	"kaleidoscope/internal/store"
+)
+
+// metaFile is the follower's durable replication position, next to the
+// collection WALs it describes.
+const metaFile = "repl.json"
+
+// Request body bounds: a frames request is a handful of WAL records, a
+// snapshot is a whole store.
+const (
+	maxFramesBody   = 32 << 20
+	maxSnapshotBody = 1 << 30
+)
+
+// followerMeta is what survives a follower restart. Seq may lag the data
+// on disk (a crash between apply and meta write) — that only makes the
+// primary resend frames the idempotent replay absorbs. Epoch must never
+// lag: it is persisted before any apply that depends on it.
+type followerMeta struct {
+	Epoch       uint64   `json:"epoch"`
+	Seq         uint64   `json:"seq"`
+	Promoted    bool     `json:"promoted,omitempty"`
+	Collections []string `json:"collections,omitempty"`
+}
+
+// FollowerConfig configures NewFollower.
+type FollowerConfig struct {
+	// Dir is the standby store directory (created if needed).
+	Dir string
+	// FS is the filesystem WAL appends and meta writes go through
+	// (OSFileSystem when nil; tests inject FaultFS).
+	FS store.FileSystem
+	// Registry receives kscope_repl_* follower metrics (optional).
+	Registry *obs.Registry
+}
+
+// Follower is the warm standby: it accepts replication frames and
+// snapshots over HTTP, appends the primary's WAL bytes verbatim to its own
+// collection logs, and can be promoted into a live store. All request
+// handling is serialized — there is one primary, and ordering is the point.
+type Follower struct {
+	dir string
+	fs  store.FileSystem
+
+	mu       sync.Mutex
+	epoch    uint64
+	lastSeq  uint64
+	promoted bool
+	wals     map[string]store.WALFile
+	known    map[string]bool // collections with a WAL file on disk
+
+	framesApplied *obs.Counter
+	bytesApplied  *obs.Counter
+	staleRejects  *obs.Counter
+	snapshots     *obs.Counter
+	applyErrors   *obs.Counter
+	promotions    *obs.Counter
+}
+
+// NewFollower opens (or resumes) a follower over dir, restoring its epoch
+// and acked sequence from the durable meta file.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("replica: follower needs a directory")
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = store.OSFileSystem{}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: creating %s: %w", cfg.Dir, err)
+	}
+	f := &Follower{
+		dir:   cfg.Dir,
+		fs:    fs,
+		wals:  make(map[string]store.WALFile),
+		known: make(map[string]bool),
+	}
+	if data, err := fs.ReadFile(f.metaPath()); err == nil {
+		var meta followerMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, fmt.Errorf("replica: corrupt %s: %w", f.metaPath(), err)
+		}
+		f.epoch, f.lastSeq, f.promoted = meta.Epoch, meta.Seq, meta.Promoted
+		for _, c := range meta.Collections {
+			f.known[c] = true
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("replica: reading %s: %w", f.metaPath(), err)
+	}
+	if r := cfg.Registry; r != nil {
+		f.framesApplied = r.Counter("kscope_repl_frames_applied")
+		f.bytesApplied = r.Counter("kscope_repl_bytes_applied")
+		f.staleRejects = r.Counter("kscope_repl_stale_rejects")
+		f.snapshots = r.Counter("kscope_repl_snapshots_received")
+		f.applyErrors = r.Counter("kscope_repl_apply_errors")
+		f.promotions = r.Counter("kscope_repl_failovers")
+		r.RegisterGauge("kscope_repl_follower_epoch", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.epoch)
+		})
+		r.RegisterGauge("kscope_repl_follower_acked_seq", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.lastSeq)
+		})
+	}
+	return f, nil
+}
+
+func (f *Follower) metaPath() string { return filepath.Join(f.dir, metaFile) }
+
+// Epoch returns the follower's current epoch.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// AckedSeq returns the highest replicated sequence the follower has
+// durably applied.
+func (f *Follower) AckedSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastSeq
+}
+
+// saveMetaLocked durably persists the follower position (temp file, atomic
+// rename, directory fsync). Called with f.mu held.
+func (f *Follower) saveMetaLocked() error {
+	names := make([]string, 0, len(f.known))
+	for c := range f.known {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	data, err := json.Marshal(followerMeta{
+		Epoch: f.epoch, Seq: f.lastSeq, Promoted: f.promoted, Collections: names,
+	})
+	if err != nil {
+		return fmt.Errorf("replica: encoding meta: %w", err)
+	}
+	tmp := f.metaPath() + ".tmp"
+	if err := f.fs.WriteFile(tmp, data); err != nil {
+		return fmt.Errorf("replica: writing meta: %w", err)
+	}
+	if err := f.fs.Rename(tmp, f.metaPath()); err != nil {
+		return fmt.Errorf("replica: swapping meta: %w", err)
+	}
+	return f.fs.SyncDir(f.dir)
+}
+
+// ServeHTTP exposes the replication surface: POST PathFrames, POST
+// PathSnapshot, GET PathStatus.
+func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == PathFrames && r.Method == http.MethodPost:
+		f.handleFrames(w, r)
+	case r.URL.Path == PathSnapshot && r.Method == http.MethodPost:
+		f.handleSnapshot(w, r)
+	case r.URL.Path == PathStatus && r.Method == http.MethodGet:
+		f.handleStatus(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// statusReply is the JSON body of every replication response.
+type statusReply struct {
+	Epoch    uint64 `json:"epoch"`
+	Acked    uint64 `json:"acked"`
+	Promoted bool   `json:"promoted,omitempty"`
+}
+
+// replyLocked writes the follower's position; called with f.mu held.
+func (f *Follower) replyLocked(w http.ResponseWriter, status int) {
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(f.epoch, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(statusReply{Epoch: f.epoch, Acked: f.lastSeq, Promoted: f.promoted})
+}
+
+// checkEpochLocked enforces fencing for an incoming request epoch. It
+// returns false after replying when the request must be rejected; on an
+// epoch higher than ours it durably adopts the new epoch first, so the
+// acceptance cannot be forgotten by a crash. Called with f.mu held.
+func (f *Follower) checkEpochLocked(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	reqEpoch, err := strconv.ParseUint(r.Header.Get(HeaderEpoch), 10, 64)
+	if err != nil {
+		http.Error(w, "replica: missing or bad "+HeaderEpoch, http.StatusBadRequest)
+		return 0, false
+	}
+	if f.promoted || reqEpoch < f.epoch {
+		// A deposed primary: it must stop acking writes. 409 + our epoch
+		// is the fence.
+		if f.staleRejects != nil {
+			f.staleRejects.Inc()
+		}
+		f.replyLocked(w, http.StatusConflict)
+		return 0, false
+	}
+	if reqEpoch > f.epoch {
+		prev := f.epoch
+		f.epoch = reqEpoch
+		if err := f.saveMetaLocked(); err != nil {
+			// Adopting an epoch we could forget after a crash would let a
+			// fenced primary back in; refuse instead.
+			f.epoch = prev
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return 0, false
+		}
+	}
+	return reqEpoch, true
+}
+
+func (f *Follower) handleFrames(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFramesBody))
+	if err != nil {
+		http.Error(w, "replica: reading frames: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reqEpoch, ok := f.checkEpochLocked(w, r)
+	if !ok {
+		return
+	}
+	frames, err := parseFrames(body)
+	if err != nil {
+		if f.applyErrors != nil {
+			f.applyErrors.Inc()
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, fr := range frames {
+		if fr.epoch != reqEpoch {
+			if f.applyErrors != nil {
+				f.applyErrors.Inc()
+			}
+			http.Error(w, fmt.Sprintf("replica: frame epoch %d != request epoch %d", fr.epoch, reqEpoch), http.StatusBadRequest)
+			return
+		}
+	}
+	if err := f.applyLocked(frames); err != nil {
+		if f.applyErrors != nil {
+			f.applyErrors.Inc()
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Meta lagging the data is safe (duplicates are idempotent), so a
+	// failed position save does not fail the request.
+	_ = f.saveMetaLocked()
+	f.replyLocked(w, http.StatusOK)
+}
+
+// applyLocked appends every frame newer than the follower's position to
+// the owning collection's WAL — one buffered Write and one fsync per
+// touched collection — then advances the position. A failure leaves the
+// position unmoved: the primary resends, duplicates replay idempotently,
+// and a torn trailing line heals through the store's normal recovery at
+// promotion. Called with f.mu held.
+func (f *Follower) applyLocked(frames []frame) error {
+	var (
+		order   []string
+		pending = make(map[string]*bytes.Buffer)
+		maxSeq  = f.lastSeq
+		applied int64
+		nbytes  int64
+	)
+	for _, fr := range frames {
+		if fr.seq <= f.lastSeq {
+			continue // duplicate delivery
+		}
+		buf, ok := pending[fr.collection]
+		if !ok {
+			buf = &bytes.Buffer{}
+			pending[fr.collection] = buf
+			order = append(order, fr.collection)
+		}
+		buf.Write(fr.inner)
+		buf.WriteByte('\n')
+		applied++
+		nbytes += int64(len(fr.inner)) + 1
+		if fr.seq > maxSeq {
+			maxSeq = fr.seq
+		}
+	}
+	created := false
+	for _, name := range order {
+		wf, err := f.walLocked(name, &created)
+		if err != nil {
+			return err
+		}
+		if _, err := wf.Write(pending[name].Bytes()); err != nil {
+			return fmt.Errorf("replica: appending %s: %w", name, err)
+		}
+	}
+	if created {
+		if err := f.fs.SyncDir(f.dir); err != nil {
+			return err
+		}
+	}
+	for _, name := range order {
+		if err := f.wals[name].Sync(); err != nil {
+			return fmt.Errorf("replica: fsync %s: %w", name, err)
+		}
+	}
+	f.lastSeq = maxSeq
+	if f.framesApplied != nil {
+		f.framesApplied.Add(applied)
+		f.bytesApplied.Add(nbytes)
+	}
+	return nil
+}
+
+// walLocked returns (opening if needed) the collection's append handle.
+func (f *Follower) walLocked(name string, created *bool) (store.WALFile, error) {
+	if wf, ok := f.wals[name]; ok {
+		return wf, nil
+	}
+	wf, err := f.fs.OpenAppend(store.WALPath(f.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if !f.known[name] {
+		f.known[name] = true
+		*created = true
+	}
+	f.wals[name] = wf
+	return wf, nil
+}
+
+func (f *Follower) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		http.Error(w, "replica: reading snapshot: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	watermark, err := strconv.ParseUint(r.Header.Get(HeaderSeq), 10, 64)
+	if err != nil {
+		http.Error(w, "replica: missing or bad "+HeaderSeq, http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.checkEpochLocked(w, r); !ok {
+		return
+	}
+	sections, err := parseSnapshot(body)
+	if err != nil {
+		if f.applyErrors != nil {
+			f.applyErrors.Inc()
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Replace our logs with the primary's files wholesale. Open handles
+	// would keep appending to replaced inodes; drop them first.
+	f.closeWALsLocked()
+	for name, wal := range sections {
+		if err := f.fs.WriteFile(store.WALPath(f.dir, name), wal); err != nil {
+			if f.applyErrors != nil {
+				f.applyErrors.Inc()
+			}
+			http.Error(w, fmt.Sprintf("replica: writing snapshot %s: %v", name, err), http.StatusInternalServerError)
+			return
+		}
+		f.known[name] = true
+	}
+	if err := f.fs.SyncDir(f.dir); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	f.lastSeq = watermark
+	if err := f.saveMetaLocked(); err != nil {
+		// Unlike frames, the watermark jump must stick: losing it would
+		// leave lastSeq behind files that already contain newer records —
+		// harmless for data (idempotent) but it would re-trigger endless
+		// snapshots. Still safe, but report the failure.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if f.snapshots != nil {
+		f.snapshots.Inc()
+	}
+	f.replyLocked(w, http.StatusOK)
+}
+
+func (f *Follower) handleStatus(w http.ResponseWriter) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.replyLocked(w, http.StatusOK)
+}
+
+// closeWALsLocked flushes and drops every open append handle.
+func (f *Follower) closeWALsLocked() {
+	for name, wf := range f.wals {
+		_ = wf.Sync()
+		_ = wf.Close()
+		delete(f.wals, name)
+	}
+}
+
+// Promote turns the standby into a live store: the follower durably bumps
+// its epoch past every frame it has ever accepted (fencing the old
+// primary), stops applying replication traffic, and opens the replicated
+// directory through the store's normal replay/repair path. The returned
+// epoch is what the promoted node must mint — and what a fenced primary
+// will be rejected against.
+func (f *Follower) Promote(opts ...store.Option) (*store.DB, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, f.epoch, fmt.Errorf("replica: already promoted")
+	}
+	f.closeWALsLocked()
+	prevEpoch, prevPromoted := f.epoch, f.promoted
+	f.epoch++
+	f.promoted = true
+	if err := f.saveMetaLocked(); err != nil {
+		f.epoch, f.promoted = prevEpoch, prevPromoted
+		return nil, f.epoch, fmt.Errorf("replica: persisting promotion: %w", err)
+	}
+	all := append([]store.Option{store.WithFileSystem(f.fs)}, opts...)
+	db, err := store.Open(f.dir, all...)
+	if err != nil {
+		return nil, f.epoch, fmt.Errorf("replica: opening promoted store: %w", err)
+	}
+	if f.promotions != nil {
+		f.promotions.Inc()
+	}
+	return db, f.epoch, nil
+}

@@ -1,0 +1,170 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+
+	"kaleidoscope/internal/store"
+)
+
+// Replication wire format. A shipped WAL record travels as one outer line:
+//
+//	#r1 <crc32-ieee hex8> <epoch hex8> <seq hex16> <collection> <inner>
+//
+// where <inner> is the record's framed WAL line (#w1 ...) byte-for-byte as
+// it was written to the primary's disk, and the outer checksum covers
+// everything after the "crc " field. The epoch rides on every frame — not
+// just the request — so a frame replayed out of context (a proxy retry, a
+// buffered send from a deposed primary) still carries the term it was
+// minted in and can be rejected on its own evidence. The inner line keeps
+// its own CRC, so a follower appends exactly the bytes a healthy primary
+// would have written, verified twice.
+const (
+	frameMagic = "#r1"
+	// snapMagic heads one collection section of a snapshot body:
+	//	#rs1 <collection> <size>\n
+	// followed by exactly size raw bytes of that collection's WAL file.
+	snapMagic = "#rs1"
+)
+
+// frame is one decoded replication record.
+type frame struct {
+	epoch      uint64
+	seq        uint64
+	collection string
+	inner      []byte // the framed WAL line, no trailing newline
+}
+
+// appendFrame renders one outer line (with trailing newline) onto dst.
+func appendFrame(dst *bytes.Buffer, epoch, seq uint64, collection string, inner []byte) {
+	// Body first, so the checksum can cover it.
+	body := fmt.Sprintf("%08x %016x %s ", epoch, seq, collection)
+	dst.WriteString(frameMagic)
+	dst.WriteByte(' ')
+	fmt.Fprintf(dst, "%08x", crc32Update(crc32.ChecksumIEEE([]byte(body)), inner))
+	dst.WriteByte(' ')
+	dst.WriteString(body)
+	dst.Write(inner)
+	dst.WriteByte('\n')
+}
+
+// crc32Update extends an IEEE checksum over more bytes.
+func crc32Update(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, crc32.IEEETable, p)
+}
+
+// parseFrame decodes one outer line (no trailing newline).
+func parseFrame(line []byte) (frame, error) {
+	var f frame
+	rest, ok := bytes.CutPrefix(line, []byte(frameMagic+" "))
+	if !ok {
+		return f, fmt.Errorf("replica: line missing %s frame", frameMagic)
+	}
+	// <crc8> <epoch8> <seq16> <collection> <inner>
+	if len(rest) < 8+1 {
+		return f, fmt.Errorf("replica: truncated frame")
+	}
+	crcField, body := rest[:8], rest[8:]
+	if len(body) == 0 || body[0] != ' ' {
+		return f, fmt.Errorf("replica: malformed frame header")
+	}
+	body = body[1:]
+	want, err := strconv.ParseUint(string(crcField), 16, 32)
+	if err != nil {
+		return f, fmt.Errorf("replica: bad frame checksum field")
+	}
+	if crc32.ChecksumIEEE(body) != uint32(want) {
+		return f, fmt.Errorf("replica: frame checksum mismatch")
+	}
+	fields := bytes.SplitN(body, []byte(" "), 4)
+	if len(fields) != 4 {
+		return f, fmt.Errorf("replica: malformed frame body")
+	}
+	if f.epoch, err = strconv.ParseUint(string(fields[0]), 16, 64); err != nil {
+		return f, fmt.Errorf("replica: bad frame epoch")
+	}
+	if f.seq, err = strconv.ParseUint(string(fields[1]), 16, 64); err != nil {
+		return f, fmt.Errorf("replica: bad frame seq")
+	}
+	f.collection = string(fields[2])
+	if !store.ValidCollectionName(f.collection) {
+		return f, fmt.Errorf("replica: invalid collection name %q", f.collection)
+	}
+	f.inner = fields[3]
+	if err := store.VerifyWALLine(f.inner); err != nil {
+		return f, fmt.Errorf("replica: frame payload: %w", err)
+	}
+	return f, nil
+}
+
+// parseFrames decodes a whole request body: one frame per line, blank lines
+// ignored. Any bad line rejects the lot — a follower applies a request
+// atomically or not at all.
+func parseFrames(body []byte) ([]frame, error) {
+	var out []frame
+	for len(body) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(body, '\n'); nl >= 0 {
+			line, body = body[:nl], body[nl+1:]
+		} else {
+			line, body = body, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		f, err := parseFrame(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// appendSnapshotSection renders one collection section of a snapshot body.
+func appendSnapshotSection(dst *bytes.Buffer, collection string, wal []byte) {
+	fmt.Fprintf(dst, "%s %s %d\n", snapMagic, collection, len(wal))
+	dst.Write(wal)
+}
+
+// parseSnapshot decodes a snapshot body into collection → raw WAL bytes.
+func parseSnapshot(body []byte) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			if len(bytes.TrimSpace(body)) == 0 {
+				break
+			}
+			return nil, fmt.Errorf("replica: truncated snapshot header")
+		}
+		header := body[:nl]
+		body = body[nl+1:]
+		if len(bytes.TrimSpace(header)) == 0 {
+			continue
+		}
+		fields := bytes.Split(header, []byte(" "))
+		if len(fields) != 3 || string(fields[0]) != snapMagic {
+			return nil, fmt.Errorf("replica: malformed snapshot header %q", header)
+		}
+		name := string(fields[1])
+		if !store.ValidCollectionName(name) {
+			return nil, fmt.Errorf("replica: invalid snapshot collection %q", name)
+		}
+		size, err := strconv.Atoi(string(fields[2]))
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("replica: bad snapshot section size")
+		}
+		if size > len(body) {
+			return nil, fmt.Errorf("replica: snapshot section %s truncated (%d > %d bytes)", name, size, len(body))
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("replica: duplicate snapshot section %s", name)
+		}
+		out[name] = body[:size]
+		body = body[size:]
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package replica turns the store's single-machine WAL into a replicated
+// log: a primary ships every locally durable WAL frame to a warm-standby
+// follower, the follower appends the identical bytes to its own collection
+// logs (replaying them through the store's normal Open/repair path at
+// promotion time), and an epoch number fences a deposed primary the moment
+// a follower is promoted past it.
+//
+// The design leans on two properties the store already guarantees. First,
+// WAL replay is idempotent — records are last-write-wins upserts keyed by
+// id — so replication only has to be at-least-once: duplicated frames,
+// frames racing a snapshot, or a re-sent tail after a reconnect all
+// converge to the same documents. Second, the follower's log is repaired by
+// the same scanWAL/recoverWAL machinery as a local crash, so a request torn
+// mid-apply on the standby is indistinguishable from a torn local append
+// and heals identically.
+//
+// Topology and failure model: one primary, one follower, an unreliable
+// link (the tests drive it through netsim.ChaosTransport). The primary
+// buffers unacked frames; a follower that falls behind the buffer — or
+// joins empty — is caught up with a snapshot (the raw on-disk WAL files at
+// a sequence watermark) followed by the buffered tail. Acknowledgement
+// policy is configurable: AckLocal acknowledges an upload once it is
+// locally fsynced and queued for shipping; AckFollower withholds the ack
+// until the follower has the frames too, making an acked upload survive
+// the loss of either machine.
+//
+// Fencing: every frame and every replication request carries the primary's
+// epoch. A follower rejects anything minted in an epoch lower than its own
+// with HTTP 409, and promotion bumps the follower's epoch — durably, before
+// promotion returns — so a deposed primary's next ship fails closed and
+// Primary marks itself fenced.
+package replica
+
+import (
+	"errors"
+	"time"
+)
+
+// HTTP surface the follower exposes (mounted by Node, consumed by Primary).
+const (
+	PathFrames   = "/repl/frames"
+	PathSnapshot = "/repl/snapshot"
+	PathStatus   = "/repl/status"
+
+	// HeaderEpoch carries the sender's epoch on requests and the
+	// follower's current epoch on responses.
+	HeaderEpoch = "X-Kscope-Repl-Epoch"
+	// HeaderSeq carries the snapshot watermark on snapshot requests.
+	HeaderSeq = "X-Kscope-Repl-Seq"
+)
+
+// AckMode selects when a shipped write is acknowledged to the caller.
+type AckMode int
+
+const (
+	// AckLocal acknowledges once the write is locally durable and queued
+	// for shipping; a background sender drains the queue. An upload acked
+	// moments before the primary dies may not have reached the follower.
+	AckLocal AckMode = iota
+	// AckFollower withholds the acknowledgement until the follower has
+	// accepted the frames: an acked upload survives losing either node.
+	AckFollower
+)
+
+func (m AckMode) String() string {
+	if m == AckFollower {
+		return "follower"
+	}
+	return "local"
+}
+
+// ParseAckMode maps the flag spelling ("local", "follower") to an AckMode.
+func ParseAckMode(s string) (AckMode, error) {
+	switch s {
+	case "local":
+		return AckLocal, nil
+	case "follower":
+		return AckFollower, nil
+	default:
+		return AckLocal, errors.New(`replica: ack mode must be "local" or "follower"`)
+	}
+}
+
+// Errors surfaced by the primary's Ship path.
+var (
+	// ErrFenced means the follower reported a higher epoch: this primary
+	// has been deposed and must stop acknowledging writes permanently.
+	ErrFenced = errors.New("replica: primary fenced by higher epoch")
+	// ErrStaleEpoch is the decoded form of the follower's 409: the request
+	// carried an epoch below the follower's.
+	ErrStaleEpoch = errors.New("replica: stale epoch rejected by follower")
+	// ErrLagging means an AckFollower write timed out waiting for the
+	// replication stream to become healthy (catch-up or reconnect in
+	// progress). The write is locally durable but unacknowledged.
+	ErrLagging = errors.New("replica: follower unavailable or catching up")
+)
+
+// Defaults for Primary tuning knobs.
+const (
+	// DefaultShipTimeout bounds how long an AckFollower write waits for
+	// the stream to be healthy and the send to complete.
+	DefaultShipTimeout = 5 * time.Second
+	// DefaultMaxBuffer is the pending-frame cap; beyond it the oldest
+	// unacked frames are dropped and the follower will need a snapshot.
+	DefaultMaxBuffer = 65536
+	// DefaultRetryInterval paces reconnect/catch-up attempts.
+	DefaultRetryInterval = 250 * time.Millisecond
+)

@@ -259,18 +259,23 @@ func (s *Server) flushBatch(w http.ResponseWriter, st *batchState, report func(g
 	}
 	_, errs := s.db.Collection(aggregator.ResponsesCollection).InsertUniqueBatch(st.pending)
 	st.flushes++
+	conflicts := false
 	for i, err := range errs {
 		elem := &st.report.Results[st.pendIdx[i]]
 		switch {
 		case err == nil:
 			elem.Status = http.StatusCreated
 		case errors.Is(err, store.ErrDuplicateID):
+			conflicts = true
 			elem.Status = http.StatusConflict
 			elem.Error = fmt.Sprintf("worker %q already uploaded a session for this test", elem.WorkerID)
 		default:
 			// Infrastructure failure: like the single path, tell the client
 			// to retry the batch once the store has had a chance to recover.
 			report(guard.Failure)
+			if s.replWriteRefused(w, err) {
+				return false
+			}
 			if s.guard != nil {
 				writeShed(w, http.StatusServiceUnavailable, s.guard.RetryAfter(),
 					"storing batch failed: %v; retry after the indicated delay", err)
@@ -279,6 +284,13 @@ func (s *Server) flushBatch(w http.ResponseWriter, st *batchState, report func(g
 			}
 			return false
 		}
+	}
+	// A 409 element acknowledges a record stored by an earlier attempt;
+	// like the single path, that ack may only go out once replication of
+	// everything local is confirmed.
+	if conflicts && !s.replAckBarrier(w) {
+		report(guard.Failure)
+		return false
 	}
 	st.pending = st.pending[:0]
 	st.pendIdx = st.pendIdx[:0]

@@ -161,23 +161,41 @@ func (s *Server) loadServing(testID string) (*testEntry, bool, error) {
 }
 
 // handleReady serves GET /readyz: 200 while the server can do real work,
-// 503 + Retry-After while the store breaker is open. Load balancers use it
-// to steer new crowds away from a degraded instance; /healthz stays a pure
-// liveness check.
+// 503 + Retry-After while the store breaker is open, the node is fenced,
+// or the replication follower has fallen past the configured lag bound.
+// Load balancers use it to steer new crowds away from a degraded instance;
+// /healthz stays a pure liveness check.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if s.guard == nil {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-		return
+	body := map[string]string{"status": "ready"}
+	status := http.StatusOK
+	if s.guard != nil {
+		state := s.guard.Breaker().State()
+		body["breaker"] = state.String()
+		if state == guard.StateOpen {
+			body["status"] = "degraded"
+			status = http.StatusServiceUnavailable
+		}
 	}
-	state := s.guard.Breaker().State()
-	if state == guard.StateOpen {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.guard.RetryAfter()))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "degraded", "breaker": state.String(),
-		})
-		return
+	if s.repl != nil {
+		lagFrames, _ := s.repl.Lag()
+		body["replication"] = s.repl.State()
+		body["epoch"] = strconv.FormatUint(s.repl.Epoch(), 10)
+		body["repl_lag_frames"] = strconv.FormatUint(lagFrames, 10)
+		switch {
+		case s.repl.Fenced():
+			body["status"] = "fenced"
+			status = http.StatusServiceUnavailable
+		case s.replMaxLag > 0 && lagFrames > s.replMaxLag:
+			body["status"] = "replication-lagging"
+			status = http.StatusServiceUnavailable
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status": "ready", "breaker": state.String(),
-	})
+	if status != http.StatusOK {
+		retry := time.Second
+		if s.guard != nil {
+			retry = s.guard.RetryAfter()
+		}
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+	}
+	writeJSON(w, status, body)
 }

@@ -50,6 +50,12 @@ type Server struct {
 	guard *guard.Guard        // nil when overload protection is off
 
 	scratchOnly bool
+
+	// repl is the node's replication view (nil on a plain single node);
+	// replMaxLag > 0 makes /readyz report not-ready past that much
+	// follower lag.
+	repl       ReplicationStatus
+	replMaxLag uint64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -274,6 +280,9 @@ func writeLoadError(w http.ResponseWriter, err error) {
 // ServeHTTP dispatches to the API mux, through the overload guard when one
 // is wired.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.replPreamble(w, r) {
+		return
+	}
 	if s.guard == nil {
 		s.mux.ServeHTTP(w, r)
 		return
@@ -562,12 +571,19 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := s.db.Collection(aggregator.ResponsesCollection).InsertUnique(doc); err != nil {
 		if errors.Is(err, store.ErrDuplicateID) {
+			if !s.replAckBarrier(w) {
+				report(guard.Failure)
+				return
+			}
 			report(guard.Success)
 			writeError(w, http.StatusConflict,
 				"worker %q already uploaded a session for test %q", upload.WorkerID, testID)
 			return
 		}
 		report(guard.Failure)
+		if s.replWriteRefused(w, err) {
+			return
+		}
 		if s.guard != nil {
 			// With the guard on, a failed store write is a transient
 			// outage, not a terminal server error: tell the client to

@@ -18,8 +18,9 @@ import (
 )
 
 // prepTest prepares a 2-version test in fresh storage and returns the
-// server plus prepared metadata.
-func prepTest(t testing.TB) (*Server, *aggregator.Prepared) {
+// server plus prepared metadata. Extra options (replication status, guard)
+// are passed through to New.
+func prepTest(t testing.TB, opts ...Option) (*Server, *aggregator.Prepared) {
 	t.Helper()
 	db := store.OpenMemory()
 	blobs := store.NewBlobStore()
@@ -46,7 +47,7 @@ func prepTest(t testing.TB) (*Server, *aggregator.Prepared) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(db, blobs)
+	srv, err := New(db, blobs, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
-	"time"
 )
 
 // InsertUniqueBatch stores many new documents under one lock hold and one
@@ -107,19 +106,5 @@ func (c *Collection) InsertUniqueBatch(docs []Document) (ids []string, errs []er
 // sync policy once for the whole group. Called with c.mu held. frames is
 // empty (and the call a no-op beyond accounting) on a memory-only database.
 func (c *Collection) appendWALBatch(frames []byte, n int) error {
-	if c.db.dir == "" {
-		return nil
-	}
-	if c.wal == nil {
-		f, err := c.db.opts.fs.OpenAppend(c.db.collectionPath(c.name))
-		if err != nil {
-			return err
-		}
-		c.wal = &walFile{file: f, db: c.db, lastSync: time.Now()}
-	}
-	if err := c.wal.appendGroup(frames, n); err != nil {
-		return err
-	}
-	c.appends += n
-	return nil
+	return c.appendFrames(frames, n)
 }

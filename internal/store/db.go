@@ -110,6 +110,7 @@ type DB struct {
 	mu          sync.RWMutex
 	dir         string // "" = memory-only
 	opts        options
+	shipper     Shipper // non-nil on a replicated backend
 	collections map[string]*Collection
 	closed      atomic.Bool
 
@@ -120,6 +121,7 @@ type DB struct {
 	walAppends     atomic.Int64
 	fsyncs         atomic.Int64
 	fsyncNanos     atomic.Int64
+	dirSyncs       atomic.Int64
 }
 
 // OpenMemory returns a purely in-memory database.
@@ -136,31 +138,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory; use OpenMemory")
 	}
-	o := defaultOptions()
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
-	}
-	db := &DB{dir: dir, opts: o, collections: make(map[string]*Collection)}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") {
-			continue
-		}
-		collName := strings.TrimSuffix(name, ".jsonl")
-		coll, err := db.loadCollection(collName)
-		if err != nil {
-			return nil, err
-		}
-		db.collections[collName] = coll
-	}
-	return db, nil
+	return OpenBackend(Dir(dir), opts...)
 }
 
 // Collection returns (creating if necessary) the named collection.
@@ -239,6 +217,12 @@ func (db *DB) loadCollection(name string) (*Collection, error) {
 	if err := recoverWAL(db.opts.fs, path, rep); err != nil {
 		return nil, err
 	}
+	if len(rep.quarantined) > 0 {
+		// The rewrite swapped a new file into place; make the rename stick.
+		if err := db.syncDir(); err != nil {
+			return nil, err
+		}
+	}
 	if rep.truncateAt >= 0 {
 		db.recoveredTails.Add(1)
 	}
@@ -304,18 +288,51 @@ func (c *Collection) appendWAL(rec walRecord) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL record: %w", err)
 	}
+	return c.appendFrames(frameRecord(data), 1)
+}
+
+// appendFrames is the one write path to a collection's log: it lazily opens
+// the WAL handle (syncing the directory so the new file's name is as
+// durable as its contents), appends n pre-framed records in one Write, runs
+// the sync policy, and — on a replicated backend — ships the exact bytes
+// that hit the disk. A shipper failure fails the write: the record may sit
+// in the local WAL unreplicated, which the idempotent replay tolerates, but
+// the caller is never acknowledged. Called with c.mu held.
+func (c *Collection) appendFrames(frames []byte, n int) error {
+	if c.db.dir == "" {
+		return nil
+	}
 	if c.wal == nil {
 		f, err := c.db.opts.fs.OpenAppend(c.db.collectionPath(c.name))
 		if err != nil {
 			return err
 		}
+		if err := c.db.syncDir(); err != nil {
+			f.Close()
+			return err
+		}
 		c.wal = &walFile{file: f, db: c.db, lastSync: time.Now()}
 	}
-	if err := c.wal.append(data); err != nil {
+	if err := c.wal.appendGroup(frames, n); err != nil {
 		return err
 	}
-	c.appends++
+	c.appends += n
+	if s := c.db.shipper; s != nil {
+		if err := s.Ship(c.name, frames, n); err != nil {
+			return fmt.Errorf("store: replicating WAL append: %w", err)
+		}
+	}
 	return nil
+}
+
+// syncDir fsyncs the store directory so file creations and renames inside
+// it are crash-durable. No-op on a memory database.
+func (db *DB) syncDir() error {
+	if db.dir == "" {
+		return nil
+	}
+	db.dirSyncs.Add(1)
+	return db.opts.fs.SyncDir(db.dir)
 }
 
 // Insert stores a new document and returns its id. When the document lacks

@@ -28,6 +28,9 @@ type FaultFS struct {
 	err     error // returned once the budget is exhausted
 	torn    bool  // persist the partial prefix of the failing write
 	tripped bool
+
+	dirSyncErr error // injected SyncDir failure (nil = pass through)
+	dirSyncs   int64
 }
 
 // NewFaultFS returns a FaultFS over the real disk with no fault armed.
@@ -49,12 +52,34 @@ func (f *FaultFS) FailAppendsAfter(n int64, err error, torn bool) {
 	f.written, f.tripped = 0, false
 }
 
+// FailDirSync arms directory-fsync failures: every SyncDir call fails with
+// err (ErrNoSpace when nil) until Reset. A failing dir sync is the crash
+// window in which a just-created WAL or a completed rename is still only a
+// promise — recovery must treat the write it covered as unacknowledged.
+func (f *FaultFS) FailDirSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.dirSyncErr = err
+}
+
+// DirSyncs reports how many directory fsyncs reached the filesystem
+// (injected failures count — the caller attempted the sync).
+func (f *FaultFS) DirSyncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dirSyncs
+}
+
 // Reset disarms the fault (the disk "recovers").
 func (f *FaultFS) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.limit = -1
 	f.written, f.tripped = 0, false
+	f.dirSyncErr = nil
 }
 
 // Tripped reports whether an injected fault has fired.
@@ -80,6 +105,20 @@ func (f *FaultFS) WriteFile(path string, data []byte) error {
 func (f *FaultFS) Rename(oldPath, newPath string) error { return f.inner().Rename(oldPath, newPath) }
 
 func (f *FaultFS) Truncate(path string, size int64) error { return f.inner().Truncate(path, size) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	f.dirSyncs++
+	err := f.dirSyncErr
+	if err != nil {
+		f.tripped = true
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner().SyncDir(dir)
+}
 
 func (f *FaultFS) OpenAppend(path string) (WALFile, error) {
 	w, err := f.inner().OpenAppend(path)

@@ -24,6 +24,11 @@ type FileSystem interface {
 	Truncate(path string, size int64) error
 	// OpenAppend opens path for appending, creating it if needed.
 	OpenAppend(path string) (WALFile, error)
+	// SyncDir fsyncs a directory. Syncing a file's data does not persist
+	// its *name* — the directory entry lives in the parent and needs its
+	// own fsync — so WAL creation, rotation, and snapshot renames are not
+	// crash-durable until the containing directory has been synced.
+	SyncDir(dir string) error
 }
 
 // WALFile is an append-only log file handle.
@@ -65,4 +70,19 @@ func (OSFileSystem) OpenAppend(path string) (WALFile, error) {
 		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
 	}
 	return f, nil
+}
+
+func (OSFileSystem) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir %s for sync: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	if err := d.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	if syncErr != nil {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, syncErr)
+	}
+	return nil
 }

@@ -3,8 +3,10 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 	"sort"
 	"strconv"
 	"time"
@@ -205,32 +207,11 @@ type walFile struct {
 	closed   bool
 }
 
-func (w *walFile) append(payload []byte) error {
-	if w.closed {
-		return ErrClosed
-	}
-	if _, err := w.file.Write(frameRecord(payload)); err != nil {
-		return fmt.Errorf("store: appending WAL: %w", err)
-	}
-	w.db.walAppends.Add(1)
-	switch w.db.opts.policy {
-	case SyncAlways:
-		return w.sync()
-	case SyncNever:
-		return nil
-	default:
-		if time.Since(w.lastSync) >= w.db.opts.interval {
-			return w.sync()
-		}
-	}
-	return nil
-}
-
 // appendGroup writes n pre-framed records in one Write and runs the sync
-// policy once for the whole group — the group-commit primitive behind
-// Collection.InsertUniqueBatch. Under SyncAlways a batch still costs a
-// single fsync; under SyncInterval the group counts as one append against
-// the interval clock.
+// policy once for the whole group — the group-commit primitive behind every
+// append (singles are a group of one) and Collection.InsertUniqueBatch.
+// Under SyncAlways a batch still costs a single fsync; under SyncInterval
+// the group counts as one append against the interval clock.
 func (w *walFile) appendGroup(frames []byte, n int) error {
 	if w.closed {
 		return ErrClosed
@@ -329,6 +310,9 @@ func (c *Collection) compactLocked() error {
 	if err := fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: swapping snapshot %s: %w", path, err)
 	}
+	if err := c.db.syncDir(); err != nil {
+		return err
+	}
 	c.appends = 0
 	c.db.compactions.Add(1)
 	return nil
@@ -362,6 +346,9 @@ type DurabilityStats struct {
 	// Fsyncs counts WAL fsync calls; FsyncNanos is their total duration.
 	Fsyncs     int64
 	FsyncNanos int64
+	// DirSyncs counts directory fsyncs (WAL creation, rotation, snapshot
+	// and recovery renames).
+	DirSyncs int64
 }
 
 // DurabilityStats returns the database's durability counters.
@@ -373,5 +360,53 @@ func (db *DB) DurabilityStats() DurabilityStats {
 		WALAppends:         db.walAppends.Load(),
 		Fsyncs:             db.fsyncs.Load(),
 		FsyncNanos:         db.fsyncNanos.Load(),
+		DirSyncs:           db.dirSyncs.Load(),
 	}
+}
+
+// VerifyWALLine checks that line is exactly one structurally and
+// semantically valid framed WAL record. Replication followers run every
+// shipped frame through this before appending it to their own log: bytes a
+// primary never wrote (or that chaos mangled in flight) must not reach a
+// follower's disk.
+func VerifyWALLine(line []byte) error {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return fmt.Errorf("store: empty WAL line")
+	}
+	if bytes.IndexByte(trimmed, '\n') >= 0 {
+		return fmt.Errorf("store: WAL line contains newline")
+	}
+	if !bytes.HasPrefix(trimmed, []byte(frameMagic+" ")) {
+		return fmt.Errorf("store: WAL line missing %s frame", frameMagic)
+	}
+	switch _, class := parseWALLine(trimmed); class {
+	case lineOK:
+		return nil
+	case lineTorn:
+		return fmt.Errorf("store: WAL line fails frame checksum or decode")
+	default:
+		return fmt.Errorf("store: WAL line is semantically invalid")
+	}
+}
+
+// SnapshotWAL returns the raw on-disk WAL bytes of a collection (nil when
+// the collection has no log yet). It reads the file without taking any
+// collection lock, so a writer may be appending concurrently: the result
+// can end in a torn final line, and may include records newer than any
+// sequence number the caller observed before the read. Both are safe for
+// replication catch-up — a torn tail is skipped by scanWAL, and newer
+// records are redelivered by the tail stream and applied idempotently.
+func (db *DB) SnapshotWAL(collection string) ([]byte, error) {
+	if db.dir == "" {
+		return nil, errors.New("store: memory database has no WAL to snapshot")
+	}
+	data, err := db.opts.fs.ReadFile(db.collectionPath(collection))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: snapshotting WAL %s: %w", collection, err)
+	}
+	return data, nil
 }

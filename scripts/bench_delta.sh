@@ -12,6 +12,8 @@
 #   INCR_FLOOR        min incremental-over-scratch speedup at 10k (default 10)
 #   PAR_FLOOR         min parallel-over-sequential Prepare speedup when
 #                     NumCPU >= 4 (default 1.8)
+#   REPL_OVERHEAD     max replicated-over-durable upload slowdown (default 10;
+#                     recorded ~5.8x for the AckFollower loopback round-trip)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +22,7 @@ ALLOC_SLACK=${ALLOC_SLACK:-1.25}
 BATCH_ALLOC_BUDGET=${BATCH_ALLOC_BUDGET:-40}
 INCR_FLOOR=${INCR_FLOOR:-10}
 PAR_FLOOR=${PAR_FLOOR:-1.8}
+REPL_OVERHEAD=${REPL_OVERHEAD:-10}
 BATCH_SESSIONS=100 # keep in sync with batchBenchSessions in bench_test.go
 
 tmp=$(mktemp -d)
@@ -27,31 +30,33 @@ trap 'rm -rf "$tmp"' EXIT
 
 echo "bench_delta: running server benchmarks..."
 go test -run '^$' \
-    -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP)$' \
+    -bench 'BenchmarkConclude(Scratch|Incremental)|BenchmarkSession(UploadHTTP|BatchUploadHTTP|UploadDurable|UploadReplicated)$' \
     -benchmem -benchtime 10x ./internal/server/ >"$tmp/server.txt"
 echo "bench_delta: running aggregator benchmarks..."
 go test -run '^$' -bench 'BenchmarkPrepare(Sequential|Parallel)$' \
     -benchmem -benchtime 3x ./internal/aggregator/ >"$tmp/aggregator.txt"
 
-# parse_bench: "<name> <ns/op> <allocs/op>" per benchmark line, with the
-# -GOMAXPROCS suffix stripped from the name.
+# parse_bench: "<name> <ns/op> <allocs/op> <lag-frames>" per benchmark line,
+# with the -GOMAXPROCS suffix stripped from the name. lag-frames is "-" for
+# benchmarks that do not report the replication metric.
 parse_bench() {
     awk '
         /^Benchmark/ {
-            ns = ""; allocs = ""
+            ns = ""; allocs = ""; lag = "-"
             for (i = 2; i <= NF; i++) {
                 if ($i == "ns/op") ns = $(i - 1)
                 if ($i == "allocs/op") allocs = $(i - 1)
+                if ($i == "lag-frames") lag = $(i - 1)
             }
             sub(/-[0-9]+$/, "", $1)
-            print $1, ns, allocs
+            print $1, ns, allocs, lag
         }
     ' "$1"
 }
 parse_bench "$tmp/server.txt" >"$tmp/server.tsv"
 parse_bench "$tmp/aggregator.txt" >"$tmp/aggregator.tsv"
 
-# live FILE NAME FIELD -> the measured value (ns=2, allocs=3).
+# live FILE NAME FIELD -> the measured value (ns=2, allocs=3, lag-frames=4).
 live() {
     awk -v name="$2" -v f="$3" '$1 == name { print $f; exit }' "$1"
 }
@@ -71,7 +76,7 @@ ok() { echo "bench_delta: ok   $*"; }
 # Gate 1: allocation counts must stay within ALLOC_SLACK of the recorded
 # figures — allocs/op is deterministic enough to compare across machines.
 for f in server aggregator; do
-    while read -r name ns allocs; do
+    while read -r name ns allocs lag; do
         [ -n "$allocs" ] || continue
         rec=$(recorded "BENCH_$f.json" "$name")
         [ -n "$rec" ] || continue
@@ -129,6 +134,28 @@ if [ -n "$seq_ns" ] && [ -n "$par_ns" ]; then
     fi
 else
     fail "Prepare benchmarks did not run"
+fi
+
+# Gate 5: the replicated write path (local fsync + frame shipping + follower
+# apply/fsync under AckFollower) must stay within REPL_OVERHEAD of the
+# durable no-follower baseline, and acked uploads must leave zero lag.
+dur_ns=$(live "$tmp/server.tsv" BenchmarkSessionUploadDurable 2)
+repl_ns=$(live "$tmp/server.tsv" BenchmarkSessionUploadReplicated 2)
+repl_lag=$(live "$tmp/server.tsv" BenchmarkSessionUploadReplicated 4)
+if [ -n "$dur_ns" ] && [ -n "$repl_ns" ]; then
+    ratio=$(awk -v d="$dur_ns" -v r="$repl_ns" 'BEGIN { printf "%.1f", r / d }')
+    if awk -v x="$ratio" -v b="$REPL_OVERHEAD" 'BEGIN { exit !(x <= b) }'; then
+        ok "replicated upload ${ratio}x over durable baseline (budget ${REPL_OVERHEAD}x)"
+    else
+        fail "replicated upload ${ratio}x over durable baseline exceeds ${REPL_OVERHEAD}x"
+    fi
+    if [ "$repl_lag" = "0" ]; then
+        ok "replication lag after acked uploads: 0 frames"
+    else
+        fail "replication lag after acked uploads: ${repl_lag:-missing} frames, want 0"
+    fi
+else
+    fail "replication benchmarks did not run"
 fi
 
 exit $status
