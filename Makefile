@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,17 @@ overload-smoke:
 # divergence on the promoted node.
 failover-smoke:
 	$(GO) run -race ./cmd/kscope-load -scenario failover -workers 25 -seed 7 -drop 0.15 -fault 0.1
+
+# Multi-tenant campaign churn acceptance, under the race detector: 8 tenant
+# tests walk create -> Prepare (overlapping a neighbor's serving) -> serve
+# under a shared churning crowd (vanish, partial sessions, re-recruitment)
+# -> per-tenant differential oracle -> delete, with chaos on every
+# participant link. Fails on oracle divergence, acked-upload loss, a
+# serving-endpoint p99 over 1s during a neighbor's Prepare, missing churn,
+# a blob/document leak after full teardown, or cross-tenant CAS dedup
+# saving under the floor.
+campaign-smoke:
+	$(GO) run -race ./cmd/kscope-load -scenario campaign -tests 8 -per-test 4 -workers 20 -seed 11 -drop 0.05 -fault 0.05
 
 # Batched-upload throughput acceptance: the fleet ships gzip batches through
 # POST /tests/{id}/sessions:batch, the run fails if the batched endpoint

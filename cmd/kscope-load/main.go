@@ -72,12 +72,16 @@ type config struct {
 	trusted      bool
 	batch        int
 	minRate      float64
+	tests        int
+	perTest      int
+	dedupFloor   int64
+	maxP99       float64
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), or failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss)")
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss), or campaign (multi-tenant lifecycle churn with worker abandonment, dedup accounting, and per-tenant oracles)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -89,6 +93,10 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&cfg.trusted, "trusted", false, "use the trusted crowd mix instead of the open one")
 	fs.IntVar(&cfg.batch, "batch", 100, "throughput scenario: sessions per batched upload")
 	fs.Float64Var(&cfg.minRate, "min-rate", 0, "throughput scenario: fail under this sessions/sec floor (0 = report only)")
+	fs.IntVar(&cfg.tests, "tests", 8, "campaign scenario: number of tenant tests churned through their lifecycle")
+	fs.IntVar(&cfg.perTest, "per-test", 4, "campaign scenario: acked sessions each tenant must land")
+	fs.Int64Var(&cfg.dedupFloor, "dedup-floor", 4096, "campaign scenario: fail if cross-tenant CAS dedup saves fewer bytes than this (0 = report only)")
+	fs.Float64Var(&cfg.maxP99, "max-p99", 1000, "campaign scenario: fail if any serving endpoint's p99 exceeds this many milliseconds (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,8 +109,10 @@ func run(args []string, out io.Writer) error {
 		return throughput(cfg, out)
 	case "failover":
 		return failover(cfg, out)
+	case "campaign":
+		return campaignScenario(cfg, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, or failover)", cfg.scenario)
+		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, failover, or campaign)", cfg.scenario)
 	}
 }
 

@@ -1,0 +1,573 @@
+// Package campaign orchestrates multi-tenant test churn: M tests driven
+// concurrently through their full lifecycle — create → aggregator Prepare
+// (overlapping other tenants' serving traffic) → serve under one shared
+// crowd with mid-session worker abandonment and re-recruitment → conclude
+// against a differential oracle → delete. Single-test soaks exercise
+// steady-state serving; this package exercises what EYEORG-scale
+// deployments actually experience: many experimenters creating, running,
+// and tearing down tests at once, with worker churn in the middle.
+//
+// The orchestrator is colocated with the deployment's storage (like the
+// experimenter-side controller): it calls the aggregator directly for
+// Prepare and reads the store for its audits, while all participant
+// traffic — page downloads, session uploads — flows through the real HTTP
+// surface, per-session chaos transports included.
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaleidoscope/internal/aggregator"
+	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/extension"
+	"kaleidoscope/internal/obs"
+	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/server"
+	"kaleidoscope/internal/store"
+	"kaleidoscope/internal/webgen"
+)
+
+// Spec describes one tenant's test.
+type Spec struct {
+	Test *params.Test
+	// Sites supplies the webpage content Prepare integrates. Tenants that
+	// share page content (same generated sites) should dedup through the
+	// CAS blob layer; the report measures how much.
+	Sites map[string]*webgen.Site
+	// Controls are extra control pairs passed through to Prepare.
+	Controls []aggregator.ControlPair
+	// Sessions is how many acked session uploads the serve phase must land
+	// before the tenant concludes.
+	Sessions int
+	// Answer decides every comparison for this tenant's workers.
+	Answer extension.AnswerFunc
+}
+
+// TenantReport is the per-test lifecycle outcome.
+type TenantReport struct {
+	TestID string
+	Pages  int
+	// Acked lists worker ids whose uploads the server acknowledged (201,
+	// or 409 = stored by an earlier attempt). The conclude audit checks
+	// every one of them against the store: acked work is never lost.
+	Acked []string
+	// Partials counts acked sessions that were abandoned mid-session after
+	// at least one completed page (quality control drops them; raw results
+	// keep them).
+	Partials int
+	// Vanished counts workers who walked away before completing anything:
+	// no upload, worker lost to the platform, a replacement recruited.
+	Vanished int
+	// Recruited counts replacement workers minted for this tenant's slots.
+	Recruited int
+	// DedupBytes is how many blob bytes this tenant's Prepare did not have
+	// to store thanks to content-addressed dedup (within the test and
+	// against content other live tenants already stored).
+	DedupBytes int64
+	// PreparedDuringServe reports that another tenant was serving traffic
+	// while this tenant's Prepare ran — the interference window the p99
+	// gate watches.
+	PreparedDuringServe bool
+	// DeleteOverlappedServing reports that at least one other tenant was
+	// still serving when this tenant was deleted mid-campaign.
+	DeleteOverlappedServing bool
+	Deleted                 bool
+	PrepareElapsed          time.Duration
+	ServeElapsed            time.Duration
+	Err                     error
+}
+
+// Report aggregates a campaign run.
+type Report struct {
+	Tenants        []TenantReport
+	TotalAcked     int
+	TotalPartials  int
+	TotalVanished  int
+	TotalRecruited int
+	// DedupBytesSaved is the campaign-wide growth of the blob store's
+	// BytesSaved counter: bytes tenants shared instead of re-storing.
+	DedupBytesSaved int64
+	// UniqueBlobsBefore/After bracket the campaign for the leak check:
+	// after every tenant is deleted, the blob store must be back to its
+	// pre-campaign population.
+	UniqueBlobsBefore int64
+	UniqueBlobsAfter  int64
+	// ArchetypeCounts tallies the initial population plus every recruited
+	// replacement.
+	ArchetypeCounts map[crowd.Archetype]int
+	Elapsed         time.Duration
+}
+
+// Campaign drives a set of tenant specs through their full lifecycle.
+type Campaign struct {
+	// BaseURL is the live core server all participant traffic targets.
+	BaseURL string
+	// DB and Blobs are the deployment's storage, used for Prepare, the
+	// acked-upload audit, and dedup/leak accounting.
+	DB    *store.DB
+	Blobs *store.BlobStore
+	// Agg prepares each tenant's test against DB/Blobs.
+	Agg   *aggregator.Aggregator
+	Specs []Spec
+	// Pop is the shared worker pool every tenant recruits from. Workers
+	// who finish a session return to the pool; workers who vanish do not.
+	Pop *crowd.Population
+	// Mix draws replacement workers when the pool runs dry or a worker
+	// vanishes mid-campaign.
+	Mix     crowd.Mix
+	Trusted bool
+	// Seed makes per-session RNG streams and recruitment deterministic up
+	// to scheduling.
+	Seed int64
+	// Concurrency bounds simultaneously running sessions campaign-wide
+	// (default 4).
+	Concurrency int
+	// Retries/Backoff/MaxRetryAfter/Timeout configure every session's
+	// client, like extension.Fleet.
+	Retries       int
+	Backoff       time.Duration
+	MaxRetryAfter time.Duration
+	Timeout       time.Duration
+	// Transport, when set, supplies a per-session http.RoundTripper
+	// (typically a seeded netsim.ChaosTransport); the sequence number is
+	// unique across the campaign.
+	Transport func(session int) http.RoundTripper
+	// Registry, when set, receives client retry metrics.
+	Registry *obs.Registry
+	// Oracle recomputes a tenant's results from scratch (raw or
+	// quality-controlled); conclude fails the tenant when the HTTP surface
+	// diverges from it — the no-cross-tenant-interference gate.
+	Oracle func(testID string, useQC bool) (*server.Results, error)
+	// MaxSlotAttempts bounds vanish-and-replace loops per required session
+	// (default 8).
+	MaxSlotAttempts int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+
+	pool    *workerPool
+	serving atomic.Int32
+	session atomic.Int64
+}
+
+// workerPool is the shared crowd: idle workers check out for one session
+// and return on completion; vanished workers are replaced by freshly
+// recruited ones, keeping the platform's supply up under churn.
+type workerPool struct {
+	mu        sync.Mutex
+	idle      []*crowd.Worker
+	nextID    int
+	rng       *rand.Rand
+	mix       crowd.Mix
+	trusted   bool
+	recruited int
+	counts    map[crowd.Archetype]int
+}
+
+// checkout hands out an idle worker not yet used by the requesting tenant;
+// when none qualifies it recruits a fresh one, as a platform does when a
+// task's assignment outstrips the available crowd.
+func (p *workerPool) checkout(used map[string]bool) (*crowd.Worker, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, w := range p.idle {
+		if !used[w.ID] {
+			p.idle = append(p.idle[:i], p.idle[i+1:]...)
+			return w, false, nil
+		}
+	}
+	w, err := crowd.RecruitWorker(p.nextID, p.mix, p.trusted, p.rng)
+	if err != nil {
+		return nil, false, err
+	}
+	p.nextID++
+	p.recruited++
+	p.counts[w.Archetype]++
+	return w, true, nil
+}
+
+// release returns a worker to the pool.
+func (p *workerPool) release(w *crowd.Worker) {
+	p.mu.Lock()
+	p.idle = append(p.idle, w)
+	p.mu.Unlock()
+}
+
+// Run drives every tenant through its lifecycle and blocks until all have
+// finished. Tenant starts are staggered in a wave: tenant i+1 begins its
+// Prepare the moment tenant i starts serving, so every Prepare after the
+// first runs while at least one neighbor serves traffic — the interference
+// the campaign exists to measure. The returned report is never nil when
+// setup succeeds; per-tenant failures are collected into both the report
+// and the joined error.
+func (c *Campaign) Run() (*Report, error) {
+	if c.BaseURL == "" || c.DB == nil || c.Blobs == nil || c.Agg == nil {
+		return nil, errors.New("campaign: needs BaseURL, DB, Blobs, and Agg")
+	}
+	if len(c.Specs) == 0 {
+		return nil, errors.New("campaign: no tenant specs")
+	}
+	if c.Pop == nil || len(c.Pop.Workers) == 0 {
+		return nil, errors.New("campaign: needs a worker population")
+	}
+	if c.Oracle == nil {
+		return nil, errors.New("campaign: needs a differential oracle")
+	}
+	for i, spec := range c.Specs {
+		if spec.Test == nil || spec.Answer == nil || spec.Sessions <= 0 {
+			return nil, fmt.Errorf("campaign: spec %d needs a test, an answer function, and a positive session target", i)
+		}
+	}
+
+	c.pool = &workerPool{
+		idle:    append([]*crowd.Worker(nil), c.Pop.Workers...),
+		nextID:  len(c.Pop.Workers),
+		rng:     rand.New(rand.NewSource(c.Seed ^ 0x5ca1ab1e)),
+		mix:     c.Mix,
+		trusted: c.Trusted,
+		counts:  make(map[crowd.Archetype]int),
+	}
+
+	report := &Report{
+		Tenants:           make([]TenantReport, len(c.Specs)),
+		UniqueBlobsBefore: c.Blobs.Stats().UniqueBlobs,
+		ArchetypeCounts:   c.Pop.CountByArchetype(),
+	}
+	statsBefore := c.Blobs.Stats()
+
+	concurrency := c.Concurrency
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	sem := make(chan struct{}, concurrency)
+
+	// The wave: gates[i] opens tenant i's lifecycle; tenant i opens
+	// gates[i+1] when it starts serving (or aborts).
+	gates := make([]chan struct{}, len(c.Specs)+1)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+	}
+	close(gates[0])
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range c.Specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gates[i]
+			var openOnce sync.Once
+			openNext := func() { openOnce.Do(func() { close(gates[i+1]) }) }
+			defer openNext()
+			c.runTenant(i, sem, openNext, &report.Tenants[i])
+		}(i)
+	}
+	wg.Wait()
+
+	statsAfter := c.Blobs.Stats()
+	report.DedupBytesSaved = statsAfter.BytesSaved - statsBefore.BytesSaved
+	report.UniqueBlobsAfter = statsAfter.UniqueBlobs
+	report.Elapsed = time.Since(start)
+
+	c.pool.mu.Lock()
+	report.TotalRecruited = c.pool.recruited
+	for a, n := range c.pool.counts {
+		report.ArchetypeCounts[a] += n
+	}
+	c.pool.mu.Unlock()
+
+	var errs []error
+	for i := range report.Tenants {
+		t := &report.Tenants[i]
+		report.TotalAcked += len(t.Acked)
+		report.TotalPartials += t.Partials
+		report.TotalVanished += t.Vanished
+		if t.Err != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.TestID, t.Err))
+		}
+	}
+	return report, errors.Join(errs...)
+}
+
+// runTenant walks one test through create → prepare → serve → conclude →
+// delete, filling rep as it goes. openNext releases the next tenant's
+// lifecycle; it is called as serving starts so the neighbor's Prepare
+// overlaps this tenant's traffic.
+func (c *Campaign) runTenant(i int, sem chan struct{}, openNext func(), rep *TenantReport) {
+	spec := c.Specs[i]
+	rep.TestID = spec.Test.TestID
+
+	// Prepare (create): runs while earlier tenants serve.
+	rep.PreparedDuringServe = c.serving.Load() > 0
+	blobsBefore := c.Blobs.Stats().BytesSaved
+	prepStart := time.Now()
+	prep, err := c.Agg.Prepare(spec.Test, spec.Sites, spec.Controls)
+	rep.PrepareElapsed = time.Since(prepStart)
+	rep.DedupBytes = c.Blobs.Stats().BytesSaved - blobsBefore
+	if err != nil {
+		rep.Err = fmt.Errorf("prepare: %w", err)
+		return
+	}
+	rep.Pages = len(prep.Pages)
+	rep.PreparedDuringServe = rep.PreparedDuringServe || c.serving.Load() > 0
+	c.logf("tenant %s: prepared %d pages in %v (dedup %d bytes, during-serve=%v)",
+		rep.TestID, rep.Pages, rep.PrepareElapsed.Round(time.Millisecond), rep.DedupBytes, rep.PreparedDuringServe)
+
+	// Serve: recruit workers from the shared pool until the session target
+	// is acked, replacing vanished workers as churn eats them.
+	c.serving.Add(1)
+	openNext()
+	serveStart := time.Now()
+	err = c.serveTenant(spec, prep, sem, rep)
+	rep.ServeElapsed = time.Since(serveStart)
+	c.serving.Add(-1)
+	if err != nil {
+		rep.Err = err
+		return
+	}
+	c.logf("tenant %s: served %d acked sessions in %v (partial %d, vanished %d)",
+		rep.TestID, len(rep.Acked), rep.ServeElapsed.Round(time.Millisecond), rep.Partials, rep.Vanished)
+
+	// Conclude: the HTTP surface must agree with the from-scratch oracle
+	// (no cross-tenant interference), and every acked upload must be in
+	// the store (no acked loss).
+	if err := c.concludeTenant(rep); err != nil {
+		rep.Err = err
+		return
+	}
+
+	// Delete: tear the test down — mid-campaign when neighbors still
+	// serve — and verify nothing of it remains servable.
+	rep.DeleteOverlappedServing = c.serving.Load() > 0
+	if err := c.deleteTenant(rep); err != nil {
+		rep.Err = err
+		return
+	}
+	rep.Deleted = true
+	c.logf("tenant %s: concluded and deleted (overlapped-serving=%v)", rep.TestID, rep.DeleteOverlappedServing)
+}
+
+// serveTenant lands spec.Sessions acked uploads, one goroutine per required
+// slot, all throttled by the campaign-wide semaphore.
+func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan struct{}, rep *TenantReport) error {
+	maxAttempts := c.MaxSlotAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	var mu sync.Mutex
+	used := make(map[string]bool)
+	var firstErr error
+	var wg sync.WaitGroup
+	for slot := 0; slot < spec.Sessions; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				mu.Lock()
+				usedView := make(map[string]bool, len(used))
+				for id := range used {
+					usedView[id] = true
+				}
+				mu.Unlock()
+				w, minted, err := c.pool.checkout(usedView)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("slot %d: recruiting: %w", slot, err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				used[w.ID] = true
+				if minted {
+					rep.Recruited++
+				}
+				mu.Unlock()
+
+				sem <- struct{}{}
+				session, err := c.runSession(spec, w)
+				<-sem
+
+				switch {
+				case err == nil:
+					c.pool.release(w)
+					mu.Lock()
+					rep.Acked = append(rep.Acked, w.ID)
+					if len(session.Behaviors) < len(prep.Pages) {
+						rep.Partials++
+					}
+					mu.Unlock()
+					return
+				case errors.Is(err, extension.ErrAbandoned):
+					// The worker walked away with nothing uploaded: lost to
+					// the platform (not returned to the pool); the next
+					// attempt recruits someone else.
+					mu.Lock()
+					rep.Vanished++
+					mu.Unlock()
+				default:
+					// Infrastructure failure after the client's own retry
+					// budget: the worker is fine, the attempt was not.
+					c.pool.release(w)
+					mu.Lock()
+					if firstErr == nil && attempt == maxAttempts-1 {
+						firstErr = fmt.Errorf("slot %d: %w", slot, err)
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("slot %d: no acked session after %d attempts", slot, maxAttempts)
+			}
+			mu.Unlock()
+		}(slot)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runSession runs one participant's full extension flow (download, replay,
+// answer, upload) with a per-session deterministic RNG and chaos transport.
+func (c *Campaign) runSession(spec Spec, w *crowd.Worker) (*server.SessionUpload, error) {
+	seq := c.session.Add(1)
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	httpc := &http.Client{Timeout: timeout}
+	if c.Transport != nil {
+		httpc.Transport = c.Transport(int(seq))
+	}
+	opts := []extension.ClientOption{extension.WithWorkerID(w.ID)}
+	if c.Retries > 0 {
+		opts = append(opts, extension.WithRetries(c.Retries))
+	}
+	if c.Backoff > 0 {
+		opts = append(opts, extension.WithBackoff(c.Backoff))
+	}
+	if c.MaxRetryAfter > 0 {
+		opts = append(opts, extension.WithMaxRetryAfter(c.MaxRetryAfter))
+	}
+	if c.Registry != nil {
+		opts = append(opts, extension.WithMetrics(c.Registry))
+	}
+	client, err := extension.NewClient(c.BaseURL, httpc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	runner := &extension.Runner{
+		Client: client,
+		Worker: w,
+		Answer: spec.Answer,
+		RNG:    rand.New(rand.NewSource(c.Seed + seq*1_000_003)),
+	}
+	return runner.Run(spec.Test.TestID)
+}
+
+// concludeTenant checks the tenant's terminal state: HTTP results (raw and
+// quality-controlled) must deep-equal the from-scratch oracle, and every
+// acked worker's session must exist in the store.
+func (c *Campaign) concludeTenant(rep *TenantReport) error {
+	for _, mode := range []struct {
+		q     string
+		useQC bool
+	}{{"", false}, {"?quality=1", true}} {
+		got, status, err := c.fetchResults(rep.TestID, mode.q)
+		if err != nil {
+			return fmt.Errorf("conclude (quality=%v): %w", mode.useQC, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("conclude (quality=%v): status %d", mode.useQC, status)
+		}
+		want, err := c.Oracle(rep.TestID, mode.useQC)
+		if err != nil {
+			return fmt.Errorf("oracle (quality=%v): %w", mode.useQC, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("ORACLE DIVERGENCE (quality=%v): cross-tenant interference?\nserved %+v\noracle %+v",
+				mode.useQC, got, want)
+		}
+	}
+	responses := c.DB.Collection(aggregator.ResponsesCollection)
+	for _, workerID := range rep.Acked {
+		if _, err := responses.Get(rep.TestID + "/" + workerID); err != nil {
+			return fmt.Errorf("ACKED LOSS: worker %s was acknowledged but has no stored session: %w", workerID, err)
+		}
+	}
+	return nil
+}
+
+// deleteTenant removes the test over HTTP and verifies the deployment
+// genuinely forgot it: metadata and results must 404 afterwards.
+func (c *Campaign) deleteTenant(rep *TenantReport) error {
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	var opts []extension.ClientOption
+	if c.Retries > 0 {
+		opts = append(opts, extension.WithRetries(c.Retries))
+	}
+	if c.Backoff > 0 {
+		opts = append(opts, extension.WithBackoff(c.Backoff))
+	}
+	client, err := extension.NewClient(c.BaseURL, httpc, opts...)
+	if err != nil {
+		return err
+	}
+	if err := client.DeleteTest(rep.TestID); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	for _, path := range []string{"", "/results"} {
+		if _, status, err := c.fetchJSON(rep.TestID, path); err != nil {
+			return fmt.Errorf("post-delete probe %q: %w", path, err)
+		} else if status != http.StatusNotFound {
+			return fmt.Errorf("post-delete GET %q: status %d, want 404 — deleted test still servable", path, status)
+		}
+	}
+	return nil
+}
+
+// fetchResults GETs a tenant's results over the clean (chaos-free) path.
+func (c *Campaign) fetchResults(testID, query string) (*server.Results, int, error) {
+	body, status, err := c.httpGet("/api/tests/" + testID + "/results" + query)
+	if err != nil || status != http.StatusOK {
+		return nil, status, err
+	}
+	var res server.Results
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, status, fmt.Errorf("decoding results: %w", err)
+	}
+	return &res, status, nil
+}
+
+// fetchJSON GETs a tenant path and returns only the status.
+func (c *Campaign) fetchJSON(testID, suffix string) ([]byte, int, error) {
+	return c.httpGet("/api/tests/" + testID + suffix)
+}
+
+func (c *Campaign) httpGet(path string) ([]byte, int, error) {
+	resp, err := http.Get(c.BaseURL + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func (c *Campaign) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -12,6 +12,8 @@ type Mix struct {
 	Casual     float64
 	Hasty      float64
 	Distracted float64
+	Surveyor   float64
+	TaskDriven float64
 }
 
 // Canonical mixes.
@@ -26,16 +28,23 @@ var (
 	TrustedCrowdMix = Mix{Diligent: 0.62, Casual: 0.22, Hasty: 0.08, Distracted: 0.08}
 	// OpenCrowdMix models an unfiltered crowd.
 	OpenCrowdMix = Mix{Diligent: 0.40, Casual: 0.28, Hasty: 0.22, Distracted: 0.10}
+	// CampaignCrowdMix models a recruitment wave on an open platform
+	// during a multi-test campaign: page-comparison raters mixed with
+	// questionnaire-heavy surveyors and goal-directed usability testers
+	// whose churn (mid-session abandonment) the orchestrator must absorb.
+	CampaignCrowdMix = Mix{Diligent: 0.30, Casual: 0.20, Hasty: 0.08, Distracted: 0.07, Surveyor: 0.15, TaskDriven: 0.20}
 )
 
 // valid reports whether the mix is a probability distribution.
 func (m Mix) valid() bool {
-	sum := m.Diligent + m.Casual + m.Hasty + m.Distracted
+	sum := m.Diligent + m.Casual + m.Hasty + m.Distracted + m.Surveyor + m.TaskDriven
 	return sum > 0.999 && sum < 1.001 &&
-		m.Diligent >= 0 && m.Casual >= 0 && m.Hasty >= 0 && m.Distracted >= 0
+		m.Diligent >= 0 && m.Casual >= 0 && m.Hasty >= 0 && m.Distracted >= 0 &&
+		m.Surveyor >= 0 && m.TaskDriven >= 0
 }
 
-// draw samples an archetype.
+// draw samples an archetype. The final band falls through to TaskDriven so
+// rounding in the cumulative sums can never produce an invalid archetype.
 func (m Mix) draw(rng *rand.Rand) Archetype {
 	x := rng.Float64()
 	switch {
@@ -45,8 +54,12 @@ func (m Mix) draw(rng *rand.Rand) Archetype {
 		return Casual
 	case x < m.Diligent+m.Casual+m.Hasty:
 		return Hasty
-	default:
+	case x < m.Diligent+m.Casual+m.Hasty+m.Distracted:
 		return Distracted
+	case x < m.Diligent+m.Casual+m.Hasty+m.Distracted+m.Surveyor:
+		return Surveyor
+	default:
+		return TaskDriven
 	}
 }
 
@@ -75,6 +88,19 @@ func NewPopulation(n int, mix Mix, trusted bool, rng *rand.Rand) (*Population, e
 		p.Workers = append(p.Workers, newWorker(i, mix.draw(rng), trusted, rng))
 	}
 	return p, nil
+}
+
+// RecruitWorker mints one replacement worker mid-campaign, as a platform
+// does when earlier recruits abandon. The id must not collide with ids
+// already issued (NewPopulation numbers workers 0..n-1).
+func RecruitWorker(id int, mix Mix, trusted bool, rng *rand.Rand) (*Worker, error) {
+	if rng == nil {
+		return nil, errors.New("crowd: nil random source")
+	}
+	if !mix.valid() {
+		return nil, ErrBadMix
+	}
+	return newWorker(id, mix.draw(rng), trusted, rng), nil
 }
 
 // InLabPopulation returns n trusted in-lab participants (the paper's 50

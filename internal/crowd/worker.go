@@ -31,6 +31,14 @@ const (
 	Hasty
 	// Distracted workers answer reasonably but with long idle gaps.
 	Distracted
+	// Surveyor workers treat the questionnaire itself as the task
+	// (TheFragebogen-style questionnaire-heavy flows): long dwell on the
+	// question pages, frequent free-text comments, careful answers.
+	Surveyor
+	// TaskDriven workers are goal-directed usability testers (Liu et
+	// al.): fast, navigation-heavy, and quick to abandon a session once
+	// their goal is met — the churn a campaign must survive.
+	TaskDriven
 )
 
 // String returns the archetype name.
@@ -44,6 +52,10 @@ func (a Archetype) String() string {
 		return "hasty"
 	case Distracted:
 		return "distracted"
+	case Surveyor:
+		return "surveyor"
+	case TaskDriven:
+		return "task-driven"
 	default:
 		return "invalid"
 	}
@@ -98,6 +110,19 @@ type Worker struct {
 	RevisitRate float64
 	// SwitchRate scales how often the worker flips the active tab.
 	SwitchRate float64
+
+	// Churn and questionnaire-engagement parameters (campaign workloads).
+
+	// AbandonRate is the per-page probability of walking away mid-session.
+	// Abandoning before the first page means the worker vanishes without
+	// uploading; later it produces a partial session upload.
+	AbandonRate float64
+	// CommentRate is the probability of leaving free-text feedback on an
+	// answered question.
+	CommentRate float64
+	// QuestionDwellMillis is extra median dwell spent on the questionnaire
+	// page per question, on top of the page comparison itself.
+	QuestionDwellMillis float64
 }
 
 // FontUtility returns the worker's reading utility for a font size, a
@@ -264,6 +289,27 @@ func applyArchetype(w *Worker, rng *rand.Rand) {
 		w.ThinkSigma = 0.7
 		w.RevisitRate = 0.35
 		w.SwitchRate = 2.0
+	case Surveyor:
+		w.NoiseSigma = 0.10 + rng.Float64()*0.05
+		w.TieWidth = 0.12
+		w.SpamRate = 0.01
+		w.MedianThinkMillis = 26_000 + rng.Float64()*10_000
+		w.ThinkSigma = 0.5
+		w.RevisitRate = 0.2
+		w.SwitchRate = 0.8
+		w.AbandonRate = 0.02
+		w.CommentRate = 0.55 + rng.Float64()*0.25
+		w.QuestionDwellMillis = 6_000 + rng.Float64()*4_000
+	case TaskDriven:
+		w.NoiseSigma = 0.18 + rng.Float64()*0.08
+		w.TieWidth = 0.10
+		w.SpamRate = 0.02
+		w.MedianThinkMillis = 6_000 + rng.Float64()*3_000
+		w.ThinkSigma = 0.4
+		w.RevisitRate = 0.4
+		w.SwitchRate = 2.5
+		w.AbandonRate = 0.18 + rng.Float64()*0.12
+		w.CommentRate = 0.15
 	}
 }
 

@@ -378,6 +378,57 @@ func (c *Client) FetchPageFile(testID, pageID, file string) ([]byte, error) {
 	return c.get("/api/tests/" + testID + "/pages/" + pageID + "/" + file)
 }
 
+// DeleteTest tears down a concluded test: the experimenter-side call that
+// removes the test document, its integrated pages, stored sessions, and
+// blob content. Deletion is idempotent on the server (a retry sweeps
+// whatever a failed earlier attempt left behind), so a 404 — the test is
+// already fully gone, perhaps deleted by an attempt whose response was lost
+// — is treated as success. Transport errors, 5xx, and 429 sheds retry with
+// the usual backoff/Retry-After/rotation machinery.
+func (c *Client) DeleteTest(testID string) error {
+	path := "/api/tests/" + testID
+	var lastErr error
+	var serverDelay time.Duration
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := c.noteRetry(attempt, serverDelay); err != nil {
+				return err
+			}
+			serverDelay = 0
+		}
+		base, idx := c.baseFor()
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodDelete, base+path, nil)
+		if err != nil {
+			return fmt.Errorf("extension: DELETE %s: %w", path, err)
+		}
+		if c.workerID != "" {
+			req.Header.Set(WorkerIDHeader, c.workerID)
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("extension: DELETE %s: %w", path, err)
+			c.rotateFrom(idx)
+			continue
+		}
+		c.observeResponse(resp)
+		body, _ := io.ReadAll(resp.Body)
+		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound:
+			return nil
+		case retryable(resp.StatusCode):
+			lastErr = fmt.Errorf("extension: DELETE %s: status %d: %s",
+				path, resp.StatusCode, truncate(body, 200))
+			c.rotateFrom(idx)
+		default:
+			return fmt.Errorf("extension: DELETE %s: status %d: %s",
+				path, resp.StatusCode, truncate(body, 200))
+		}
+	}
+	return lastErr
+}
+
 // UploadBatch posts many finished sessions through the server's batched
 // endpoint (POST /api/tests/{id}/sessions:batch), gzip-compressing the
 // array on the wire when compress is set. It reuses the single-upload retry

@@ -80,6 +80,10 @@ type WorkerResult struct {
 type FleetReport struct {
 	Completed int
 	Failed    int
+	// Abandoned counts workers who vanished without uploading anything
+	// (ErrAbandoned). Worker churn is an expected crowd behaviour, not an
+	// infrastructure failure, so it is tallied separately from Failed.
+	Abandoned int
 	Retries   int64
 	Elapsed   time.Duration
 	// Errs holds the first few failures, for diagnostics.
@@ -116,16 +120,19 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 	var mu sync.Mutex
 	record := func(res WorkerResult) {
 		mu.Lock()
-		if res.Err != nil {
+		switch {
+		case errors.Is(res.Err, ErrAbandoned):
+			report.Abandoned++
+		case res.Err != nil:
 			report.Failed++
 			if len(report.Errs) < 5 {
 				report.Errs = append(report.Errs, res.Err)
 			}
-		} else {
+		default:
 			report.Completed++
 		}
 		report.Retries += res.Retries
-		done := report.Completed + report.Failed
+		done := report.Completed + report.Failed + report.Abandoned
 		mu.Unlock()
 		if f.OnResult != nil {
 			f.OnResult(done, res)

@@ -3,6 +3,7 @@ package extension
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"kaleidoscope/internal/aggregator"
@@ -31,6 +32,25 @@ type PageContext struct {
 // AnswerFunc produces a worker's answer (and optional free-text comment)
 // to one question on one page.
 type AnswerFunc func(w *crowd.Worker, ctx *PageContext, question string, rng *rand.Rand) (questionnaire.Choice, string)
+
+// ErrAbandoned reports a worker who walked away before completing a single
+// comparison: nothing was uploaded, and from the platform's point of view
+// the worker simply vanished. Abandonment after at least one completed page
+// is not an error — the extension flushes what it has as a partial session
+// (quality control later drops it for missing responses, but it still lands
+// in the raw tallies).
+var ErrAbandoned = errors.New("extension: worker abandoned the session")
+
+// surveyComments is the canned free-text pool questionnaire-heavy workers
+// draw from when they leave feedback on an answered question.
+var surveyComments = []string{
+	"Read both versions twice before deciding.",
+	"The difference is subtle but consistent across paragraphs.",
+	"Hard to tell apart; went with my first impression.",
+	"Right side felt more comfortable after a longer look.",
+	"Left side was easier on the eyes for body text.",
+	"Honestly both seemed fine for short reading sessions.",
+}
 
 // Runner executes the Fig. 3 test flow for one participant.
 type Runner struct {
@@ -87,6 +107,15 @@ func (r *Runner) Build(testID string) (*server.SessionUpload, error) {
 	}
 
 	for _, page := range info.Pages {
+		// Churn-prone workers may walk away before opening the next page.
+		// The guard keeps the RNG stream of non-abandoning archetypes
+		// untouched, so existing seeded scenarios stay deterministic.
+		if r.Worker.AbandonRate > 0 && r.RNG.Float64() < r.Worker.AbandonRate {
+			if len(session.Behaviors) == 0 {
+				return nil, ErrAbandoned
+			}
+			break
+		}
 		ctx, err := r.loadPage(testID, page, vp)
 		if err != nil {
 			return nil, err
@@ -96,6 +125,13 @@ func (r *Runner) Build(testID string) (*server.SessionUpload, error) {
 
 		for qi, question := range info.Questions {
 			choice, comment := r.Answer(r.Worker, ctx, question, r.RNG)
+			duration := behavior.TimeOnTaskMillis
+			if r.Worker.QuestionDwellMillis > 0 {
+				// Questionnaire-heavy workers linger on the question page
+				// itself, beyond the comparison the telemetry captured.
+				dwell := r.Worker.QuestionDwellMillis * math.Exp(r.RNG.NormFloat64()*0.3)
+				duration += int(dwell)
+			}
 			if page.Kind == aggregator.KindControl {
 				// Control pages feed quality control, not results.
 				if qi == 0 {
@@ -108,6 +144,9 @@ func (r *Runner) Build(testID string) (*server.SessionUpload, error) {
 				}
 				continue
 			}
+			if comment == "" && r.Worker.CommentRate > 0 && r.RNG.Float64() < r.Worker.CommentRate {
+				comment = surveyComments[r.RNG.Intn(len(surveyComments))]
+			}
 			session.Responses = append(session.Responses, questionnaire.Response{
 				TestID:         testID,
 				WorkerID:       r.Worker.ID,
@@ -115,7 +154,7 @@ func (r *Runner) Build(testID string) (*server.SessionUpload, error) {
 				QuestionID:     questionID(qi),
 				Choice:         choice,
 				Comment:        comment,
-				DurationMillis: behavior.TimeOnTaskMillis,
+				DurationMillis: duration,
 			})
 		}
 	}

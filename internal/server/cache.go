@@ -210,6 +210,24 @@ func (c *servingCache) dropDerived(testID string) {
 	delete(c.results, resultsKey{testID, true})
 }
 
+// purgeTest erases every trace of a deleted test, including the
+// last-known-good degraded-mode snapshots that ordinary invalidation
+// deliberately preserves: after deletion there is no "good" state left to
+// serve. The generation entry is kept (bumped), not deleted — a results
+// fill that raced the deletion still has to find a generation newer than
+// its snapshot, or it would re-populate the live cache for a test that no
+// longer exists.
+func (c *servingCache) purgeTest(testID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[testID]++
+	delete(c.tests, testID)
+	c.dropDerived(testID)
+	delete(c.staleTests, testID)
+	delete(c.staleResults, resultsKey{testID, false})
+	delete(c.staleResults, resultsKey{testID, true})
+}
+
 // invalidateAll resets the cache (used when a change event's test id cannot
 // be attributed).
 func (c *servingCache) invalidateAll() {

@@ -38,7 +38,9 @@ func classifyRequest(r *http.Request) (guard.Class, bool) {
 		return 0, false
 	}
 	switch {
-	case r.Method == http.MethodPost:
+	case r.Method == http.MethodPost || r.Method == http.MethodDelete:
+		// Deletes are store writes like uploads; admitting them through the
+		// read class would let a churn-heavy campaign starve real reads.
 		return guard.ClassUpload, true
 	case strings.HasSuffix(p, "/results"):
 		return guard.ClassResults, true

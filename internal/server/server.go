@@ -100,6 +100,7 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	s.mux.HandleFunc("POST /api/tests/{id}/sessions", s.handleSessionUpload)
 	s.mux.HandleFunc("POST /api/tests/{id}/sessions:batch", s.handleSessionBatch)
 	s.mux.HandleFunc("GET /api/tests/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /api/tests/{id}", s.handleTestDelete)
 	s.mux.HandleFunc("GET /builder", s.handleBuilderPage)
 	s.mux.HandleFunc("GET /dashboard/{id}", s.handleDashboard)
 	s.mux.HandleFunc("POST /api/params/build", s.handleBuildParams)
@@ -597,6 +598,115 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	report(guard.Success)
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "stored", "worker_id": upload.WorkerID})
+}
+
+// handleTestDelete serves DELETE /api/tests/{id}: the end of a test's
+// lifecycle. It removes the test document first (so fresh loads 404
+// immediately), then sweeps the test's page documents, stored sessions, and
+// blob prefix (releasing CAS refcounts, so content shared with other
+// tenants survives while this test's references are dropped), and finally
+// purges the serving cache — including the degraded-mode snapshots that
+// ordinary invalidation keeps — and the incremental accumulator.
+//
+// The sweep is idempotent: a retry after a partially failed delete (or
+// after a lost response) cleans up whatever remains, and 404 only means
+// nothing of the test exists anymore — which a deleting client can treat as
+// success.
+func (s *Server) handleTestDelete(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+
+	// Deletes are uncacheable store writes, exactly like uploads: with the
+	// breaker refusing work there is nothing useful to do, and a successful
+	// sweep is evidence of store health.
+	var breakerDone func(guard.Outcome)
+	if s.guard != nil {
+		var ok bool
+		breakerDone, ok = s.guard.Breaker().Allow()
+		if !ok {
+			s.writeUnavailable(w, "test deletion")
+			return
+		}
+	}
+	reported := false
+	report := func(o guard.Outcome) {
+		if breakerDone != nil && !reported {
+			reported = true
+			breakerDone(o)
+		}
+	}
+	defer report(guard.Canceled)
+
+	fail := func(err error) {
+		report(guard.Failure)
+		if s.replWriteRefused(w, err) {
+			return
+		}
+		if s.guard != nil {
+			writeShed(w, http.StatusServiceUnavailable, s.guard.RetryAfter(),
+				"deleting test failed: %v; retry after the indicated delay", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "deleting test %q: %v", testID, err)
+	}
+
+	tests := s.db.Collection(aggregator.TestsCollection)
+	hadDoc := false
+	if _, err := tests.Get(testID); err == nil {
+		hadDoc = true
+		if err := tests.Delete(testID); err != nil {
+			fail(err)
+			return
+		}
+	} else if !errors.Is(err, store.ErrNotFound) {
+		fail(err)
+		return
+	}
+
+	npages := 0
+	pages := s.db.Collection(aggregator.PagesCollection)
+	for _, doc := range pages.FindEq("test_id", testID) {
+		if err := pages.Delete(doc.ID()); err != nil {
+			fail(err)
+			return
+		}
+		npages++
+	}
+	nsessions := 0
+	responses := s.db.Collection(aggregator.ResponsesCollection)
+	for _, doc := range responses.FindEq("test_id", testID) {
+		if err := responses.Delete(doc.ID()); err != nil {
+			fail(err)
+			return
+		}
+		nsessions++
+	}
+	nblobs, err := s.blobs.DeletePrefix(testID + "/")
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// The OnChange hooks already invalidated the live cache per deleted
+	// document; the explicit purge additionally drops the last-known-good
+	// snapshots and the accumulator state, so a deleted test can never be
+	// served — degraded mode included — until it is created again.
+	s.cache.purgeTest(testID)
+	if s.accum != nil {
+		s.accum.invalidate(testID)
+	}
+	report(guard.Success)
+
+	if !hadDoc && npages == 0 && nsessions == 0 && nblobs == 0 {
+		writeError(w, http.StatusNotFound, "no such test %q", testID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "deleted",
+		"test_id":  testID,
+		"pages":    npages,
+		"sessions": nsessions,
+		"blobs":    nblobs,
+	})
 }
 
 // PageResult is the concluded tally for one integrated page.

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"kaleidoscope/internal/webgen"
 )
@@ -270,7 +271,11 @@ func (b *BlobStore) deleteLocked(clean string) error {
 
 // DeletePrefix removes every blob whose key starts with prefix and returns
 // how many were removed. Removing zero keys is not an error — the main
-// caller is failure cleanup, which must be idempotent.
+// caller is failure cleanup, which must be idempotent. On the directory
+// backend it also prunes the emptied prefix directory and sweeps CAS
+// payloads no logical path links to anymore: refcounts are per-process, so
+// blobs stored by an earlier process (the prepare CLI) are invisible to
+// this process's maps and only the on-disk link count knows they died.
 func (b *BlobStore) DeletePrefix(prefix string) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -283,7 +288,43 @@ func (b *BlobStore) DeletePrefix(prefix string) (int, error) {
 			return 0, err
 		}
 	}
+	if b.dir != "" {
+		// Every key under the prefix is gone; drop the now-empty directory
+		// tree. Only when the prefix names a directory unambiguously — a
+		// trailing slash — so "t-1/" cannot take "t-10" with it.
+		if dirKey, err := cleanKey(prefix); err == nil && strings.HasSuffix(prefix, "/") {
+			_ = os.RemoveAll(filepath.Join(b.dir, filepath.FromSlash(dirKey)))
+		}
+		if len(keys) > 0 {
+			b.sweepOrphanedCASLocked()
+		}
+	}
 	return len(keys), nil
+}
+
+// sweepOrphanedCASLocked removes CAS payload files whose on-disk hard-link
+// count shows no logical path references them. Payloads this process
+// tracks as live are skipped regardless of link count (the hard-link
+// fallback stores logical copies, leaving the payload at one link while
+// referenced). Callers hold b.mu.
+func (b *BlobStore) sweepOrphanedCASLocked() {
+	entries, err := os.ReadDir(filepath.Join(b.dir, casDir))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		hash := e.Name()
+		if b.cas[hash] != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if st, ok := info.Sys().(*syscall.Stat_t); ok && st.Nlink <= 1 {
+			_ = os.Remove(filepath.Join(b.dir, casDir, hash))
+		}
+	}
 }
 
 // Get returns the blob stored under key.

@@ -200,6 +200,57 @@ func TestDeletePrefix(t *testing.T) {
 	})
 }
 
+// TestDeletePrefixSweepsCrossProcessOrphans reopens a populated directory
+// store in a fresh BlobStore — the server process deleting a test the
+// prepare CLI stored. Refcounts are per-process, so only the on-disk link
+// count can prove the CAS payloads died: after deleting every test that
+// shares them, the .cas area and the tests' directories must be gone,
+// while payloads still hard-linked by a surviving test must remain.
+func TestDeletePrefixSweepsCrossProcessOrphans(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := OpenBlobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 and t2 share a payload; t3 has its own.
+	shared, own := []byte("shared payload"), []byte("private payload")
+	for _, k := range []string{"t1/p/index.html", "t2/p/index.html"} {
+		if err := writer.PutCAS(k, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.PutCAS("t3/p/index.html", own); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store over the same directory knows none of the
+	// refcounts.
+	server, err := OpenBlobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := server.DeletePrefix("t1/"); err != nil || n != 1 {
+		t.Fatalf("DeletePrefix t1 = %d, %v", n, err)
+	}
+	// t2 still links the shared payload: it must survive t1's deletion.
+	if got, err := server.Get("t2/p/index.html"); err != nil || string(got) != string(shared) {
+		t.Fatalf("shared payload lost with a survivor attached: %q, %v", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t1")); !os.IsNotExist(err) {
+		t.Errorf("t1 directory survived its deletion: %v", err)
+	}
+	if n, err := server.DeletePrefix("t2/"); err != nil || n != 1 {
+		t.Fatalf("DeletePrefix t2 = %d, %v", n, err)
+	}
+	if n, err := server.DeletePrefix("t3/"); err != nil || n != 1 {
+		t.Fatalf("DeletePrefix t3 = %d, %v", n, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, casDir))
+	if err == nil && len(entries) > 0 {
+		t.Errorf("cas area still holds %d orphaned payloads after every referencing test was deleted", len(entries))
+	}
+}
+
 // TestBlobStoreConcurrentHammer drives Put, PutCAS, Get, and List from
 // parallel goroutines on both backends. Run under -race via make check,
 // this is the store's concurrency contract test.

@@ -12,6 +12,11 @@
 #   INCR_FLOOR        min incremental-over-scratch speedup at 10k (default 10)
 #   PAR_FLOOR         min parallel-over-sequential Prepare speedup when
 #                     NumCPU >= 4 (default 1.8)
+#   REQUIRE_MULTICORE set to 1 to make the parallel-Prepare gate mandatory:
+#                     under 4 cores the script FAILS instead of skipping the
+#                     floor. CI sets this so a degraded runner (or a
+#                     GOMAXPROCS regression) cannot silently skip the 1.8x
+#                     claim the benchmark record stakes.
 #   REPL_OVERHEAD     max replicated-over-durable upload slowdown (default 10;
 #                     recorded ~5.8x for the AckFollower loopback round-trip)
 set -eu
@@ -23,6 +28,7 @@ BATCH_ALLOC_BUDGET=${BATCH_ALLOC_BUDGET:-40}
 INCR_FLOOR=${INCR_FLOOR:-10}
 PAR_FLOOR=${PAR_FLOOR:-1.8}
 REPL_OVERHEAD=${REPL_OVERHEAD:-10}
+REQUIRE_MULTICORE=${REQUIRE_MULTICORE:-0}
 BATCH_SESSIONS=100 # keep in sync with batchBenchSessions in bench_test.go
 
 tmp=$(mktemp -d)
@@ -129,8 +135,10 @@ if [ -n "$seq_ns" ] && [ -n "$par_ns" ]; then
         else
             fail "parallel Prepare ${speedup}x on $cpus cores is under the ${PAR_FLOOR}x floor"
         fi
+    elif [ "$REQUIRE_MULTICORE" = "1" ]; then
+        fail "parallel Prepare floor requires >=4 cores but this runner has $cpus (REQUIRE_MULTICORE=1; measured ${speedup}x)"
     else
-        echo "bench_delta: skip parallel Prepare floor on $cpus core(s): measured ${speedup}x (informational)"
+        echo "bench_delta: skip parallel Prepare floor on $cpus core(s): measured ${speedup}x (informational; set REQUIRE_MULTICORE=1 to make this a failure)"
     fi
 else
     fail "Prepare benchmarks did not run"
