@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke campaign-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke campaign-smoke earlystop-smoke
 
 build:
 	$(GO) build ./...
@@ -36,16 +36,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSelector$$' -fuzztime $(FUZZTIME) ./internal/cssx/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseStylesheet$$' -fuzztime $(FUZZTIME) ./internal/cssx/
 	$(GO) test -run '^$$' -fuzz '^FuzzInjectSpec$$' -fuzztime $(FUZZTIME) ./internal/pageload/
+	$(GO) test -run '^$$' -fuzz '^FuzzSequentialFold$$' -fuzztime $(FUZZTIME) ./internal/earlystop/
+	$(GO) test -run '^$$' -fuzz '^FuzzLogBetaMixtureE$$' -fuzztime $(FUZZTIME) ./internal/earlystop/
 
 # Full-repo coverage profile (published as a CI artifact).
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Coverage floors on the preparation pipeline's load-bearing packages and
-# the overload guard.
+# Coverage floors on the preparation pipeline's load-bearing packages, the
+# overload guard, and the sequential early-stopping engine.
 cover-check: cover
-	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80 internal/guard 80
+	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80 internal/guard 80 internal/earlystop 90
 
 # The PR-3 acceptance benchmark pair; record results in
 # BENCH_aggregator.json (on >=4 cores the parallel pipeline should show
@@ -110,6 +112,17 @@ failover-smoke:
 # saving under the floor.
 campaign-smoke:
 	$(GO) run -race ./cmd/kscope-load -scenario campaign -tests 8 -per-test 4 -workers 20 -seed 11 -drop 0.05 -fault 0.05
+
+# Adaptive sequential early-stopping acceptance, under the race detector:
+# two strong-effect tenants and one evidence-free tenant run against an
+# early-stopping server with a shared session budget below the combined
+# fixed-n cost. Fails unless both effect tenants conclude early with the
+# correct winner and a certified p-value bound, the null tenant runs to its
+# full fixed target undecided, campaign-wide realized cost lands strictly
+# below fixed-n within the budget, and the standing oracle/acked-loss/status
+# audits hold.
+earlystop-smoke:
+	$(GO) run -race ./cmd/kscope-load -scenario earlystop -workers 16 -seed 1 -budget 60 -alpha 0.05
 
 # Batched-upload throughput acceptance: the fleet ships gzip batches through
 # POST /tests/{id}/sessions:batch, the run fails if the batched endpoint

@@ -76,12 +76,14 @@ type config struct {
 	perTest      int
 	dedupFloor   int64
 	maxP99       float64
+	budget       int
+	alpha        float64
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss), or campaign (multi-tenant lifecycle churn with worker abandonment, dedup accounting, and per-tenant oracles)")
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss), campaign (multi-tenant lifecycle churn with worker abandonment, dedup accounting, and per-tenant oracles), or earlystop (adaptive sequential stopping: decided tests conclude early, the null tenant never does, realized cost beats fixed-n under a shared budget)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -97,6 +99,8 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.perTest, "per-test", 4, "campaign scenario: acked sessions each tenant must land")
 	fs.Int64Var(&cfg.dedupFloor, "dedup-floor", 4096, "campaign scenario: fail if cross-tenant CAS dedup saves fewer bytes than this (0 = report only)")
 	fs.Float64Var(&cfg.maxP99, "max-p99", 1000, "campaign scenario: fail if any serving endpoint's p99 exceeds this many milliseconds (0 = report only)")
+	fs.IntVar(&cfg.budget, "budget", 60, "earlystop scenario: shared paid-session budget, deliberately below the combined fixed-n cost")
+	fs.Float64Var(&cfg.alpha, "alpha", 0.05, "earlystop scenario: family-wise false-stop probability the sequential engine certifies")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,8 +115,10 @@ func run(args []string, out io.Writer) error {
 		return failover(cfg, out)
 	case "campaign":
 		return campaignScenario(cfg, out)
+	case "earlystop":
+		return earlystopScenario(cfg, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, failover, or campaign)", cfg.scenario)
+		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, failover, campaign, or earlystop)", cfg.scenario)
 	}
 }
 

@@ -38,6 +38,12 @@ import (
 	"kaleidoscope/internal/store"
 )
 
+// earlyStopAlpha is the -earlystop-alpha flag: it lives at package level
+// because every build path — plain, replicated primary, and a standby
+// promoting itself mid-run — assembles its serving stack through
+// assembleHandler and must come up with the same sequential engine.
+var earlyStopAlpha float64
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "kscope-server:", err)
@@ -63,8 +69,12 @@ func run(args []string) error {
 	fs.Uint64Var(&rc.epoch, "epoch", 1, "replication epoch this primary serves in (a promoted standby starts past its predecessor)")
 	fs.StringVar(&rc.ackMode, "repl-ack", "follower", "replication ack mode: follower (acknowledge uploads only after the standby applied them) or local")
 	fs.Uint64Var(&rc.maxLag, "repl-max-lag", 0, "report not-ready on /readyz when the standby trails more than this many frames (0 disables)")
+	fs.Float64Var(&earlyStopAlpha, "earlystop-alpha", 0, "adaptive sequential early stopping: family-wise false-stop probability to certify; decided tests stop accepting sessions (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if earlyStopAlpha != 0 && !(earlyStopAlpha > 0 && earlyStopAlpha < 1) {
+		return fmt.Errorf("-earlystop-alpha %v: need 0 < alpha < 1", earlyStopAlpha)
 	}
 	if err := rc.validate(); err != nil {
 		return err
@@ -180,6 +190,9 @@ func assembleHandler(db *store.DB, storeDir string, quiet bool, gcfg *guard.Conf
 		g := guard.New(*gcfg)
 		g.RegisterMetrics(reg)
 		opts = append(opts, server.WithGuard(g))
+	}
+	if earlyStopAlpha > 0 {
+		opts = append(opts, server.WithEarlyStop(server.EarlyStopConfig{Alpha: earlyStopAlpha}))
 	}
 	opts = append(opts, extra...)
 	srv, err := server.New(db, blobs, opts...)

@@ -28,9 +28,11 @@ import (
 
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/earlystop"
 	"kaleidoscope/internal/extension"
 	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/params"
+	"kaleidoscope/internal/questionnaire"
 	"kaleidoscope/internal/server"
 	"kaleidoscope/internal/store"
 	"kaleidoscope/internal/webgen"
@@ -83,7 +85,21 @@ type TenantReport struct {
 	Deleted                 bool
 	PrepareElapsed          time.Duration
 	ServeElapsed            time.Duration
-	Err                     error
+	// Concluded reports the server's sequential engine decided this
+	// tenant's test before its fixed session target was met; Decision is
+	// the terminal decision the results endpoint carried.
+	Concluded bool
+	Decision  *earlystop.Decision
+	// SessionsSaved counts required slots the decision made unnecessary:
+	// sessions the tenant would have paid for under the fixed-n design but
+	// never ran (or ran and had acknowledged unstored).
+	SessionsSaved int
+	// FixedCost is the fixed-horizon budget (spec.Sessions); RealizedCost
+	// is what the tenant actually spent — stored sessions only. Early
+	// stopping is worthwhile exactly when realized < fixed.
+	FixedCost    int
+	RealizedCost int
+	Err          error
 }
 
 // Report aggregates a campaign run.
@@ -104,7 +120,17 @@ type Report struct {
 	// ArchetypeCounts tallies the initial population plus every recruited
 	// replacement.
 	ArchetypeCounts map[crowd.Archetype]int
-	Elapsed         time.Duration
+	// TotalFixedCost/TotalRealizedCost/TotalSessionsSaved aggregate the
+	// early-stopping economics across tenants: what the fixed-n design
+	// would have paid, what was actually stored, and the difference the
+	// sequential engine released back to the campaign.
+	TotalFixedCost     int
+	TotalRealizedCost  int
+	TotalSessionsSaved int
+	// BudgetUnspent is what remains of the shared Budget after the run
+	// (zero when no budget was set).
+	BudgetUnspent int
+	Elapsed       time.Duration
 }
 
 // Campaign drives a set of tenant specs through their full lifecycle.
@@ -150,12 +176,29 @@ type Campaign struct {
 	// MaxSlotAttempts bounds vanish-and-replace loops per required session
 	// (default 8).
 	MaxSlotAttempts int
+	// StopOnDecision makes tenants honor the server's sequential early
+	// stopping: a concluded upload (200 + X-Kscope-Concluded) ends the
+	// tenant's serve phase instead of counting as a failed slot, its
+	// remaining workers go back to the shared pool, and its unspent budget
+	// stays available to undecided neighbors. Without it a concluded
+	// upload is reported as an error, because the fixed-n oracle audit
+	// assumes every acked session was stored.
+	StopOnDecision bool
+	// Budget, when positive, caps campaign-wide paid sessions: each slot
+	// draws one unit before running and only stored sessions keep it —
+	// concluded, abandoned, and failed attempts refund theirs. Decided
+	// tenants stop drawing, so their unspent quota is exactly what
+	// neighbors still serving get to spend. Exhausting the budget fails
+	// the run: the campaign promised more sessions than it could pay for.
+	Budget int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 
-	pool    *workerPool
-	serving atomic.Int32
-	session atomic.Int64
+	pool       *workerPool
+	serving    atomic.Int32
+	session    atomic.Int64
+	budgetMu   sync.Mutex
+	budgetLeft int
 }
 
 // workerPool is the shared crowd: idle workers check out for one session
@@ -227,6 +270,7 @@ func (c *Campaign) Run() (*Report, error) {
 		}
 	}
 
+	c.budgetLeft = c.Budget
 	c.pool = &workerPool{
 		idle:    append([]*crowd.Worker(nil), c.Pop.Workers...),
 		nextID:  len(c.Pop.Workers),
@@ -284,12 +328,21 @@ func (c *Campaign) Run() (*Report, error) {
 	}
 	c.pool.mu.Unlock()
 
+	if c.Budget > 0 {
+		c.budgetMu.Lock()
+		report.BudgetUnspent = c.budgetLeft
+		c.budgetMu.Unlock()
+	}
+
 	var errs []error
 	for i := range report.Tenants {
 		t := &report.Tenants[i]
 		report.TotalAcked += len(t.Acked)
 		report.TotalPartials += t.Partials
 		report.TotalVanished += t.Vanished
+		report.TotalFixedCost += t.FixedCost
+		report.TotalRealizedCost += t.RealizedCost
+		report.TotalSessionsSaved += t.SessionsSaved
 		if t.Err != nil {
 			errs = append(errs, fmt.Errorf("tenant %s: %w", t.TestID, t.Err))
 		}
@@ -329,12 +382,14 @@ func (c *Campaign) runTenant(i int, sem chan struct{}, openNext func(), rep *Ten
 	err = c.serveTenant(spec, prep, sem, rep)
 	rep.ServeElapsed = time.Since(serveStart)
 	c.serving.Add(-1)
+	rep.FixedCost = spec.Sessions
+	rep.RealizedCost = len(rep.Acked)
 	if err != nil {
 		rep.Err = err
 		return
 	}
-	c.logf("tenant %s: served %d acked sessions in %v (partial %d, vanished %d)",
-		rep.TestID, len(rep.Acked), rep.ServeElapsed.Round(time.Millisecond), rep.Partials, rep.Vanished)
+	c.logf("tenant %s: served %d acked sessions in %v (partial %d, vanished %d, concluded=%v saved=%d)",
+		rep.TestID, len(rep.Acked), rep.ServeElapsed.Round(time.Millisecond), rep.Partials, rep.Vanished, rep.Concluded, rep.SessionsSaved)
 
 	// Conclude: the HTTP surface must agree with the from-scratch oracle
 	// (no cross-tenant interference), and every acked upload must be in
@@ -356,7 +411,11 @@ func (c *Campaign) runTenant(i int, sem chan struct{}, openNext func(), rep *Ten
 }
 
 // serveTenant lands spec.Sessions acked uploads, one goroutine per required
-// slot, all throttled by the campaign-wide semaphore.
+// slot, all throttled by the campaign-wide semaphore. With StopOnDecision,
+// a slot that observes the test concluded — its own upload answered 200 +
+// X-Kscope-Concluded, or a sibling's before it started — retires without
+// spending: the worker returns to the shared pool and the slot's budget
+// unit (if any) is refunded for undecided neighbors.
 func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan struct{}, rep *TenantReport) error {
 	maxAttempts := c.MaxSlotAttempts
 	if maxAttempts <= 0 {
@@ -364,6 +423,7 @@ func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan st
 	}
 	var mu sync.Mutex
 	used := make(map[string]bool)
+	concluded := false
 	var firstErr error
 	var wg sync.WaitGroup
 	for slot := 0; slot < spec.Sessions; slot++ {
@@ -372,6 +432,11 @@ func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan st
 			defer wg.Done()
 			for attempt := 0; attempt < maxAttempts; attempt++ {
 				mu.Lock()
+				if concluded {
+					rep.SessionsSaved++
+					mu.Unlock()
+					return
+				}
 				usedView := make(map[string]bool, len(used))
 				for id := range used {
 					usedView[id] = true
@@ -393,11 +458,42 @@ func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan st
 				}
 				mu.Unlock()
 
+				// Reserve the paid-session unit only once the slot holds a
+				// concurrency token: outstanding reservations are bounded by
+				// the campaign concurrency, not by the number of waiting
+				// slots, so a decided neighbor's refunds actually reach us.
 				sem <- struct{}{}
-				session, err := c.runSession(spec, w)
+				if !c.acquireBudget() {
+					<-sem
+					c.pool.release(w)
+					mu.Lock()
+					if concluded {
+						rep.SessionsSaved++
+					} else if firstErr == nil {
+						firstErr = fmt.Errorf("slot %d: campaign budget exhausted (%d units)", slot, c.Budget)
+					}
+					mu.Unlock()
+					return
+				}
+				session, outcome, err := c.runSession(spec, w)
 				<-sem
 
 				switch {
+				case err == nil && outcome == extension.UploadConcluded:
+					// The sequential engine decided the test before this
+					// session landed: acknowledged, unstored, unpaid.
+					c.refundBudget()
+					c.pool.release(w)
+					mu.Lock()
+					if c.StopOnDecision {
+						concluded = true
+						rep.Concluded = true
+						rep.SessionsSaved++
+					} else if firstErr == nil {
+						firstErr = fmt.Errorf("slot %d: test concluded early but StopOnDecision is off", slot)
+					}
+					mu.Unlock()
+					return
 				case err == nil:
 					c.pool.release(w)
 					mu.Lock()
@@ -410,13 +506,16 @@ func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan st
 				case errors.Is(err, extension.ErrAbandoned):
 					// The worker walked away with nothing uploaded: lost to
 					// the platform (not returned to the pool); the next
-					// attempt recruits someone else.
+					// attempt recruits someone else. Nothing was stored, so
+					// nothing was paid.
+					c.refundBudget()
 					mu.Lock()
 					rep.Vanished++
 					mu.Unlock()
 				default:
 					// Infrastructure failure after the client's own retry
 					// budget: the worker is fine, the attempt was not.
+					c.refundBudget()
 					c.pool.release(w)
 					mu.Lock()
 					if firstErr == nil && attempt == maxAttempts-1 {
@@ -436,9 +535,38 @@ func (c *Campaign) serveTenant(spec Spec, prep *aggregator.Prepared, sem chan st
 	return firstErr
 }
 
+// acquireBudget draws one paid-session unit from the shared campaign
+// budget; a false return means the pool is dry. A no-op true when no
+// budget was configured.
+func (c *Campaign) acquireBudget() bool {
+	if c.Budget <= 0 {
+		return true
+	}
+	c.budgetMu.Lock()
+	defer c.budgetMu.Unlock()
+	if c.budgetLeft <= 0 {
+		return false
+	}
+	c.budgetLeft--
+	return true
+}
+
+// refundBudget returns a drawn unit that was never spent on a stored
+// session — concluded, abandoned, or failed attempts.
+func (c *Campaign) refundBudget() {
+	if c.Budget <= 0 {
+		return
+	}
+	c.budgetMu.Lock()
+	c.budgetLeft++
+	c.budgetMu.Unlock()
+}
+
 // runSession runs one participant's full extension flow (download, replay,
 // answer, upload) with a per-session deterministic RNG and chaos transport.
-func (c *Campaign) runSession(spec Spec, w *crowd.Worker) (*server.SessionUpload, error) {
+// The outcome distinguishes a stored upload from one acknowledged unstored
+// because the test had already been decided.
+func (c *Campaign) runSession(spec Spec, w *crowd.Worker) (*server.SessionUpload, extension.UploadOutcome, error) {
 	seq := c.session.Add(1)
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -463,7 +591,7 @@ func (c *Campaign) runSession(spec Spec, w *crowd.Worker) (*server.SessionUpload
 	}
 	client, err := extension.NewClient(c.BaseURL, httpc, opts...)
 	if err != nil {
-		return nil, err
+		return nil, extension.UploadStored, err
 	}
 	runner := &extension.Runner{
 		Client: client,
@@ -471,13 +599,17 @@ func (c *Campaign) runSession(spec Spec, w *crowd.Worker) (*server.SessionUpload
 		Answer: spec.Answer,
 		RNG:    rand.New(rand.NewSource(c.Seed + seq*1_000_003)),
 	}
-	return runner.Run(spec.Test.TestID)
+	return runner.RunOutcome(spec.Test.TestID)
 }
 
 // concludeTenant checks the tenant's terminal state: HTTP results (raw and
 // quality-controlled) must deep-equal the from-scratch oracle, and every
-// acked worker's session must exist in the store.
+// acked worker's session must exist in the store. The oracle recomputes
+// tallies from storage and knows nothing of the sequential engine, so a
+// decided tenant's decision metadata is validated separately and stripped
+// before the comparison — the underlying tallies must still agree exactly.
 func (c *Campaign) concludeTenant(rep *TenantReport) error {
+	servedConcluded := rep.Concluded
 	for _, mode := range []struct {
 		q     string
 		useQC bool
@@ -488,6 +620,26 @@ func (c *Campaign) concludeTenant(rep *TenantReport) error {
 		}
 		if status != http.StatusOK {
 			return fmt.Errorf("conclude (quality=%v): status %d", mode.useQC, status)
+		}
+		if got.Concluded != (got.Decision != nil) {
+			return fmt.Errorf("conclude (quality=%v): inconsistent decision metadata (concluded=%v, decision=%+v)",
+				mode.useQC, got.Concluded, got.Decision)
+		}
+		if servedConcluded && got.Decision == nil {
+			return fmt.Errorf("conclude (quality=%v): serve phase observed a concluded upload but results carry no decision", mode.useQC)
+		}
+		if d := got.Decision; d != nil {
+			if err := auditDecision(d); err != nil {
+				return fmt.Errorf("conclude (quality=%v): %w", mode.useQC, err)
+			}
+			if !mode.useQC {
+				rep.Concluded = true
+				rep.Decision = d
+			}
+			stripped := *got
+			stripped.Concluded = false
+			stripped.Decision = nil
+			got = &stripped
 		}
 		want, err := c.Oracle(rep.TestID, mode.useQC)
 		if err != nil {
@@ -503,6 +655,25 @@ func (c *Campaign) concludeTenant(rep *TenantReport) error {
 		if _, err := responses.Get(rep.TestID + "/" + workerID); err != nil {
 			return fmt.Errorf("ACKED LOSS: worker %s was acknowledged but has no stored session: %w", workerID, err)
 		}
+	}
+	return nil
+}
+
+// auditDecision sanity-checks a results-borne sequential decision: a real
+// winner, a certifiable p-value bound, and accounting that could actually
+// have produced it.
+func auditDecision(d *earlystop.Decision) error {
+	if d.Winner != questionnaire.ChoiceLeft && d.Winner != questionnaire.ChoiceRight {
+		return fmt.Errorf("decision winner %q is not a side", d.Winner)
+	}
+	if d.PageID == "" || d.QuestionID == "" {
+		return fmt.Errorf("decision names no evidence stream: %+v", d)
+	}
+	if !(d.PValueBound > 0 && d.PValueBound <= 1) {
+		return fmt.Errorf("decision p-value bound %v out of (0, 1]", d.PValueBound)
+	}
+	if d.NUsed <= 0 || d.Sessions < d.NUsed || d.Streams <= 0 {
+		return fmt.Errorf("decision accounting impossible: %+v", d)
 	}
 	return nil
 }

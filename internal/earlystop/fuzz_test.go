@@ -1,0 +1,155 @@
+package earlystop
+
+import (
+	"math"
+	"testing"
+
+	"kaleidoscope/internal/questionnaire"
+	"kaleidoscope/internal/stats"
+)
+
+// Fuzz the sequential boundary computation end-to-end: arbitrary vote
+// streams must never panic, the always-valid p bound must be monotone
+// non-increasing in evidence, and the decision must be stable under
+// within-session vote reordering and equal-count session swaps.
+func FuzzSequentialFold(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint16(50), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint16(50), uint8(1))
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1}, uint16(10), uint8(4))
+	f.Add([]byte{}, uint16(999), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, alphaMilli uint16, streamsRaw uint8) {
+		alpha := (float64(alphaMilli%999) + 0.5) / 1000 // (0, 1)
+		nStreams := int(streamsRaw%4) + 1
+
+		// Each pair of bytes is one session with two votes; choice and
+		// stream index are carved out of each byte.
+		decode := func(b byte) Vote {
+			choices := []questionnaire.Choice{questionnaire.ChoiceLeft, questionnaire.ChoiceRight, questionnaire.ChoiceSame}
+			return Vote{
+				PageID:     "p1",
+				QuestionID: string(rune('a' + int(b>>2)%nStreams)),
+				Choice:     choices[int(b)%3],
+			}
+		}
+		var sessions [][]Vote
+		for i := 0; i+1 < len(data); i += 2 {
+			sessions = append(sessions, []Vote{decode(data[i]), decode(data[i+1])})
+		}
+
+		run := func(order [][]Vote) (*Decision, []float64) {
+			s, err := New(Config{Alpha: alpha, Streams: nStreams})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			var bounds []float64
+			for _, votes := range order {
+				s.Fold(votes)
+				bounds = append(bounds, s.PBound())
+			}
+			return s.Decision(), bounds
+		}
+
+		base, bounds := run(sessions)
+
+		// Monotone non-increasing p bound, always in [0, 1].
+		prev := 1.0
+		for i, p := range bounds {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("fold %d: p bound out of range: %v", i, p)
+			}
+			if p > prev+1e-15 {
+				t.Fatalf("fold %d: p bound increased %v -> %v", i, prev, p)
+			}
+			prev = p
+		}
+
+		// A latched decision must certify the configured alpha.
+		if base != nil {
+			if base.PValueBound > alpha+1e-12 {
+				t.Fatalf("decision p bound %v exceeds alpha %v", base.PValueBound, alpha)
+			}
+			if base.Winner != questionnaire.ChoiceLeft && base.Winner != questionnaire.ChoiceRight {
+				t.Fatalf("decision winner %q is not a side", base.Winner)
+			}
+			if base.NUsed <= 0 || base.Sessions <= 0 || base.Sessions > len(sessions) {
+				t.Fatalf("decision accounting out of range: %+v", base)
+			}
+		}
+
+		// Within-session reorder: reverse every session's votes.
+		reversed := make([][]Vote, len(sessions))
+		for i, votes := range sessions {
+			reversed[i] = []Vote{votes[1], votes[0]}
+		}
+		if got, _ := run(reversed); !decisionsEqual(base, got) {
+			t.Fatalf("within-session reorder changed outcome: %+v vs %+v", base, got)
+		}
+
+		// Equal-count session swap: swap each adjacent pair whose vote
+		// multisets are equal.
+		swapped := append([][]Vote(nil), sessions...)
+		for i := 0; i+1 < len(swapped); i += 2 {
+			if sameMultiset(swapped[i], swapped[i+1]) {
+				swapped[i], swapped[i+1] = swapped[i+1], swapped[i]
+			}
+		}
+		if got, _ := run(swapped); !decisionsEqual(base, got) {
+			t.Fatalf("equal-count swap changed outcome: %+v vs %+v", base, got)
+		}
+	})
+}
+
+func decisionsEqual(a, b *Decision) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func sameMultiset(a, b []Vote) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[Vote]int, len(a))
+	for _, v := range a {
+		counts[v]++
+	}
+	for _, v := range b {
+		counts[v]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fuzz the raw e-value computation: valid inputs give finite, symmetric
+// log e-values; invalid inputs error instead of returning NaN.
+func FuzzLogBetaMixtureE(f *testing.F) {
+	f.Add(5, 10, 1.0)
+	f.Add(0, 0, 1.0)
+	f.Add(1000, 1000, 0.5)
+	f.Add(-1, 5, 1.0)
+	f.Add(3, 2, math.NaN())
+	f.Fuzz(func(t *testing.T, k, n int, a float64) {
+		logE, err := stats.LogBetaMixtureE(k, n, a)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(logE) || math.IsInf(logE, 0) {
+			t.Fatalf("LogBetaMixtureE(%d,%d,%v) = %v, want finite", k, n, a, logE)
+		}
+		mirror, err := stats.LogBetaMixtureE(n-k, n, a)
+		if err != nil {
+			t.Fatalf("mirror errored: %v", err)
+		}
+		// Evidence against p=1/2 is symmetric in the winning side; for
+		// huge n the Lgamma roundoff grows with the magnitude of logE.
+		tolerance := 1e-9 * (1 + math.Abs(logE))
+		if math.Abs(logE-mirror) > tolerance {
+			t.Fatalf("asymmetric: logE(%d,%d)=%v vs logE(%d,%d)=%v", k, n, logE, n-k, n, mirror)
+		}
+	})
+}

@@ -489,6 +489,9 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		var report server.BatchReport
 		decoded := json.Unmarshal(body, &report) == nil
 		switch {
+		case resp.StatusCode == http.StatusOK && resp.Header.Get(server.ConcludedHeader) == "1":
+			// Decided test: the whole batch was acknowledged unstored.
+			return &server.BatchReport{TestID: testID, Concluded: true}, nil
 		case resp.StatusCode == http.StatusOK:
 			if !decoded {
 				return nil, fmt.Errorf("extension: corrupt batch report: %s", truncate(body, 200))
@@ -512,6 +515,19 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 	return nil, lastErr
 }
 
+// UploadOutcome classifies how an accepted session upload ended.
+type UploadOutcome int
+
+const (
+	// UploadStored: the server persisted the session (201).
+	UploadStored UploadOutcome = iota
+	// UploadDuplicate: an earlier attempt already stored it (409).
+	UploadDuplicate
+	// UploadConcluded: the test is already decided; the server
+	// acknowledged the work without storing it (200 + X-Kscope-Concluded).
+	UploadConcluded
+)
+
 // UploadSession posts a finished session to the core server, retrying
 // transport errors, 5xx responses, and 429 sheds (honoring Retry-After
 // when given). The upload is idempotent by worker id: a 409 means a
@@ -519,9 +535,18 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 // already stored this session, and is treated as success — a participant's
 // finished work is never lost to a flaky connection.
 func (c *Client) UploadSession(testID string, session server.SessionUpload) error {
+	_, err := c.UploadSessionOutcome(testID, session)
+	return err
+}
+
+// UploadSessionOutcome is UploadSession with the accepted outcome
+// surfaced: callers that schedule crowd budget (the campaign orchestrator)
+// need to distinguish a stored session from a concluded-test
+// acknowledgement, which spends no budget.
+func (c *Client) UploadSessionOutcome(testID string, session server.SessionUpload) (UploadOutcome, error) {
 	payload, err := json.Marshal(session)
 	if err != nil {
-		return fmt.Errorf("extension: encoding session: %w", err)
+		return UploadStored, fmt.Errorf("extension: encoding session: %w", err)
 	}
 	path := "/api/tests/" + testID + "/sessions"
 	var lastErr error
@@ -529,14 +554,14 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if err := c.noteRetry(attempt, serverDelay); err != nil {
-				return err
+				return UploadStored, err
 			}
 			serverDelay = 0
 		}
 		base, idx := c.baseFor()
 		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, base+path, bytes.NewReader(payload))
 		if err != nil {
-			return fmt.Errorf("extension: uploading session: %w", err)
+			return UploadStored, fmt.Errorf("extension: uploading session: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/json")
 		if c.workerID != "" {
@@ -551,22 +576,46 @@ func (c *Client) UploadSession(testID string, session server.SessionUpload) erro
 		c.observeResponse(resp)
 		body, _ := io.ReadAll(resp.Body)
 		serverDelay, _ = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		concluded := resp.Header.Get(server.ConcludedHeader) == "1"
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusCreated:
-			return nil
+			return UploadStored, nil
 		case resp.StatusCode == http.StatusConflict:
 			// Duplicate by worker id: already stored (possibly by the node
 			// a failed-over attempt reached first).
-			return nil
+			return UploadDuplicate, nil
+		case resp.StatusCode == http.StatusOK && concluded:
+			// The sequential engine decided the test while this worker was
+			// mid-flow: acknowledged, not stored, no budget spent.
+			return UploadConcluded, nil
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
 			c.rotateFrom(idx)
 		default:
-			return fmt.Errorf("extension: upload rejected: status %d: %s",
+			return UploadStored, fmt.Errorf("extension: upload rejected: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
 		}
 	}
-	return lastErr
+	return UploadStored, lastErr
+}
+
+// Results fetches a test's conclusion from GET /api/tests/{id}/results,
+// decision metadata included when the server's sequential engine has
+// decided the test. quality selects the default-battery filtered view.
+func (c *Client) Results(testID string, quality bool) (*server.Results, error) {
+	path := "/api/tests/" + testID + "/results"
+	if quality {
+		path += "?quality=1"
+	}
+	body, err := c.get(path)
+	if err != nil {
+		return nil, err
+	}
+	var res server.Results
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("extension: decoding results: %w", err)
+	}
+	return &res, nil
 }

@@ -74,6 +74,9 @@ type WorkerResult struct {
 	Err      error
 	Retries  int64
 	Elapsed  time.Duration
+	// Concluded marks a session the server acknowledged without storing
+	// because the sequential engine had already decided the test.
+	Concluded bool
 }
 
 // FleetReport aggregates a fleet run.
@@ -84,6 +87,9 @@ type FleetReport struct {
 	// (ErrAbandoned). Worker churn is an expected crowd behaviour, not an
 	// infrastructure failure, so it is tallied separately from Failed.
 	Abandoned int
+	// Concluded counts workers whose finished sessions were acknowledged
+	// unstored because the test was already decided (early stopping).
+	Concluded int
 	Retries   int64
 	Elapsed   time.Duration
 	// Errs holds the first few failures, for diagnostics.
@@ -128,11 +134,13 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 			if len(report.Errs) < 5 {
 				report.Errs = append(report.Errs, res.Err)
 			}
+		case res.Concluded:
+			report.Concluded++
 		default:
 			report.Completed++
 		}
 		report.Retries += res.Retries
-		done := report.Completed + report.Failed + report.Abandoned
+		done := report.Completed + report.Failed + report.Abandoned + report.Concluded
 		mu.Unlock()
 		if f.OnResult != nil {
 			f.OnResult(done, res)
@@ -272,6 +280,10 @@ func (b *sessionBatcher) upload(batch []WorkerResult) {
 		switch {
 		case err != nil:
 			batch[i].Err = fmt.Errorf("extension: batch upload (worker %s): %w", batch[i].WorkerID, err)
+		case reportObj.Concluded:
+			// The test was decided before this batch landed: every element
+			// is acknowledged work that spent no budget.
+			batch[i].Concluded = true
 		case reportObj.Results[i].Status != http.StatusCreated && reportObj.Results[i].Status != http.StatusConflict:
 			batch[i].Err = fmt.Errorf("extension: batch element %s rejected: status %d: %s",
 				batch[i].WorkerID, reportObj.Results[i].Status, reportObj.Results[i].Error)
@@ -323,11 +335,14 @@ func (f *Fleet) runWorker(testID string, index int, worker *crowd.Worker, buildO
 		Answer: f.Answer,
 		RNG:    rand.New(rand.NewSource(f.Seed + int64(index)*workerSeedStride)),
 	}
-	run := runner.Run
+	var session *server.SessionUpload
 	if buildOnly {
-		run = runner.Build
+		session, err = runner.Build(testID)
+	} else {
+		var outcome UploadOutcome
+		session, outcome, err = runner.RunOutcome(testID)
+		res.Concluded = err == nil && outcome == UploadConcluded
 	}
-	session, err := run(testID)
 	res.Retries = client.RetryAttempts()
 	res.Elapsed = time.Since(start)
 	if err != nil {

@@ -70,14 +70,23 @@ type Runner struct {
 // question is answered, telemetry is recorded, and the session is posted
 // to the core server.
 func (r *Runner) Run(testID string) (*server.SessionUpload, error) {
+	session, _, err := r.RunOutcome(testID)
+	return session, err
+}
+
+// RunOutcome is Run with the upload outcome surfaced: a session answered
+// with UploadConcluded finished the flow but was not stored, because the
+// sequential engine had already decided the test.
+func (r *Runner) RunOutcome(testID string) (*server.SessionUpload, UploadOutcome, error) {
 	session, err := r.Build(testID)
 	if err != nil {
-		return nil, err
+		return nil, UploadStored, err
 	}
-	if err := r.Client.UploadSession(testID, *session); err != nil {
-		return nil, err
+	outcome, err := r.Client.UploadSessionOutcome(testID, *session)
+	if err != nil {
+		return nil, outcome, err
 	}
-	return session, nil
+	return session, outcome, nil
 }
 
 // Build performs the flow up to — but not including — the upload and

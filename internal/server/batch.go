@@ -53,6 +53,10 @@ type BatchReport struct {
 	Rejected int                  `json:"rejected"`
 	Results  []BatchElementResult `json:"results"`
 	Error    string               `json:"error,omitempty"`
+	// Concluded is set client-side when the whole batch was acknowledged
+	// with X-Kscope-Concluded — the test is decided and nothing was
+	// stored. The server's concluded response is not a BatchReport.
+	Concluded bool `json:"concluded,omitempty"`
 }
 
 // batchState carries one batch request's progress: the report being built
@@ -102,6 +106,19 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		writeLoadError(w, err)
 		return
+	}
+
+	// Same concluded-test semantics as the single endpoint: once the
+	// sequential engine has decided, a whole batch is acknowledged with
+	// 200 + X-Kscope-Concluded and nothing is stored. (A decision that
+	// latches mid-batch does not abort the stream: elements already
+	// validated commit normally, and the *next* request sees the header.)
+	if s.early != nil {
+		if d := s.early.decision(testID); d != nil {
+			report(guard.Success)
+			s.early.concludedUpload(w, testID, d)
+			return
+		}
 	}
 
 	if s.reg != nil {

@@ -29,6 +29,7 @@ import (
 
 	"kaleidoscope/internal/aggregator"
 	"kaleidoscope/internal/crowd"
+	"kaleidoscope/internal/earlystop"
 	"kaleidoscope/internal/guard"
 	"kaleidoscope/internal/obs"
 	"kaleidoscope/internal/quality"
@@ -46,6 +47,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *servingCache
 	accum *resultsAccumulator // nil when WithScratchResults is set
+	early *earlyTracker       // nil unless WithEarlyStop is set
 	reg   *obs.Registry       // nil when observability is off
 	guard *guard.Guard        // nil when overload protection is off
 
@@ -129,6 +131,9 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 			if s.accum != nil {
 				s.accum.invalidateAll()
 			}
+			if s.early != nil {
+				s.early.dropAllState()
+			}
 			s.cache.invalidateAll()
 			return
 		}
@@ -139,6 +144,18 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 		// older than the generation they claim.
 		if s.accum != nil {
 			s.accum.observe(op, id, testID, responses)
+		}
+		// The sequential engine folds eagerly on the same feed: the
+		// decision must be latched before the next upload asks whether
+		// the test is concluded. A load failure here (e.g. the test doc
+		// already swept mid-delete) just drops the engine state; the
+		// latched decision, if any, survives until the explicit purge.
+		if s.early != nil {
+			if entry, err := s.load(testID); err == nil {
+				s.early.observe(op, id, testID, entry, responses)
+			} else {
+				s.early.dropState(testID)
+			}
 		}
 		s.cache.invalidateSessions(testID)
 	})
@@ -166,6 +183,9 @@ func (s *Server) invalidateByPrefixedID(id string, invalidate func(string)) {
 func (s *Server) registerGauges() {
 	if s.accum != nil {
 		s.accum.registerGauges(s)
+	}
+	if s.early != nil {
+		s.early.registerGauges(s)
 	}
 	reg, cache := s.reg, s.cache
 	for _, g := range []struct {
@@ -539,6 +559,15 @@ func (s *Server) handleSessionUpload(w http.ResponseWriter, r *http.Request) {
 		writeLoadError(w, err)
 		return
 	}
+	// A decided test spends no more crowd: acknowledge without storing so
+	// in-flight workers finish cleanly, and tell them why.
+	if s.early != nil {
+		if d := s.early.decision(testID); d != nil {
+			report(guard.Success)
+			s.early.concludedUpload(w, testID, d)
+			return
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxSessionBytes)
 	var upload SessionUpload
 	if err := decodeStrict(r.Body, &upload); err != nil {
@@ -694,6 +723,9 @@ func (s *Server) handleTestDelete(w http.ResponseWriter, r *http.Request) {
 	if s.accum != nil {
 		s.accum.invalidate(testID)
 	}
+	if s.early != nil {
+		s.early.purge(testID)
+	}
 	report(guard.Success)
 
 	if !hadDoc && npages == 0 && nsessions == 0 && nblobs == 0 {
@@ -731,6 +763,12 @@ type Results struct {
 	// (empty when unfiltered).
 	KeptWorkers []string     `json:"kept_workers,omitempty"`
 	Pages       []PageResult `json:"pages"`
+	// Concluded and Decision report the sequential engine's verdict when
+	// early stopping is enabled and the test has been decided. Both are
+	// omitted (and the payload byte-identical to a server without the
+	// engine) while the test is undecided.
+	Concluded bool                `json:"concluded,omitempty"`
+	Decision  *earlystop.Decision `json:"decision,omitempty"`
 }
 
 // Sessions loads every stored session of a test through the serving cache;
@@ -919,11 +957,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if s.breakerOpen() {
 		key := resultsKey{testID: testID, quality: useQC}
 		if res, ok := s.cache.resultsFor(key); ok {
-			s.serveDegraded(w, res)
+			s.serveDegraded(w, s.withDecision(testID, res))
 			return
 		}
 		if res, ok := s.cache.staleResultsFor(key); ok {
-			s.serveDegraded(w, res)
+			s.serveDegraded(w, s.withDecision(testID, res))
 			return
 		}
 		s.writeUnavailable(w, "results")
@@ -943,5 +981,25 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "concluding: %v", err)
 		return
 	}
+	res = s.withDecision(testID, res)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// withDecision attaches the sequential engine's verdict to a results
+// payload. The cached Results object is never mutated — decision metadata
+// rides a shallow copy, so the cache keeps serving the engine-free shape
+// and undecided tests stay byte-identical to a server without early
+// stopping.
+func (s *Server) withDecision(testID string, res *Results) *Results {
+	if s.early == nil {
+		return res
+	}
+	d := s.early.decision(testID)
+	if d == nil {
+		return res
+	}
+	cp := *res
+	cp.Concluded = true
+	cp.Decision = d
+	return &cp
 }

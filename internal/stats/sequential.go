@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Sequential (always-valid) evidence machinery for the early-stopping
+// engine. The test is a mixture sequential probability ratio test (mSPRT)
+// on a Bernoulli stream against H0: p = 1/2 — the "sign test" form: every
+// decisive crowd vote on an A/B question is a coin flip, and under the
+// null the coin is fair.
+//
+// The e-process uses a Beta(a, a) mixture over the alternative:
+//
+//	E_n = Integral p^k (1-p)^(n-k) dBeta(a,a)(p) / (1/2)^n
+//	    = 2^n * B(k+a, n-k+a) / B(a, a)
+//
+// computed in log space via Lgamma. E_n is a nonnegative martingale with
+// E[E_0] = 1 under H0, so by Ville's inequality
+//
+//	P( sup_n E_n >= 1/alpha ) <= alpha
+//
+// which makes "stop the first time E_n crosses 1/alpha" a test with
+// always-valid Type-I error control at every sample size — no horizon, no
+// alpha-spending schedule, and immune to continuous peeking (the hazard
+// the fixed-n two-proportion test in this package explicitly warns
+// about). min(1, 1/max_m<=n E_m) is an always-valid p-value bound.
+
+// LogBetaMixtureE returns the natural log of the Beta(a,a)-mixture
+// e-value for observing k successes in n Bernoulli trials against
+// H0: p = 1/2. n == 0 returns 0 (E = 1: no evidence). The mixture
+// parameter a > 0 shapes the prior over effect sizes; a = 1 (uniform) is
+// the standard default and is what the earlystop engine uses.
+func LogBetaMixtureE(k, n int, a float64) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("stats: n must be non-negative")
+	}
+	if k < 0 || k > n {
+		return 0, errors.New("stats: k out of range")
+	}
+	if math.IsNaN(a) || a <= 0 || math.IsInf(a, 1) {
+		return 0, errors.New("stats: mixture parameter must be positive and finite")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	logE := float64(n)*math.Ln2 + logBeta(float64(k)+a, float64(n-k)+a) - logBeta(a, a)
+	return logE, nil
+}
+
+// logBeta returns ln B(x, y) = ln Gamma(x) + ln Gamma(y) - ln Gamma(x+y).
+func logBeta(x, y float64) float64 {
+	lx, _ := math.Lgamma(x)
+	ly, _ := math.Lgamma(y)
+	lxy, _ := math.Lgamma(x + y)
+	return lx + ly - lxy
+}
+
+// EValuePBound converts a running-maximum log e-value into the
+// always-valid p-value bound min(1, streams * exp(-maxLogE)). The streams
+// multiplier is the Bonferroni correction when the decision is taken over
+// a family of independent evidence streams (one per page x question) and
+// the reported bound must control the family-wise error rate. maxLogE
+// must be a running maximum for the bound to be monotone non-increasing
+// in evidence.
+func EValuePBound(maxLogE float64, streams int) float64 {
+	if streams < 1 {
+		streams = 1
+	}
+	if math.IsNaN(maxLogE) {
+		return 1
+	}
+	p := float64(streams) * math.Exp(-maxLogE)
+	if p > 1 || math.IsNaN(p) {
+		return 1
+	}
+	return p
+}
+
+// SequentialThreshold returns the log e-value boundary log(streams/alpha)
+// at which a single stream may declare significance while keeping the
+// family-wise false-stop probability over `streams` independent
+// e-processes at most alpha (Ville + Bonferroni).
+func SequentialThreshold(alpha float64, streams int) (float64, error) {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+		return 0, errors.New("stats: alpha must be in (0, 1)")
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	return math.Log(float64(streams)) - math.Log(alpha), nil
+}

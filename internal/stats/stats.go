@@ -214,7 +214,7 @@ func BinomialTest(k, n int, p float64) (float64, error) {
 	if k < 0 || k > n {
 		return 0, errors.New("stats: k out of range")
 	}
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return 0, errors.New("stats: p out of range")
 	}
 	obs := binomialPMF(k, n, p)
@@ -383,8 +383,8 @@ func WilsonInterval(k, n int, z float64) (lo, hi float64, err error) {
 	if k < 0 || k > n {
 		return 0, 0, errors.New("stats: k out of range")
 	}
-	if z <= 0 {
-		return 0, 0, errors.New("stats: z must be positive")
+	if !(z > 0) || math.IsInf(z, 1) {
+		return 0, 0, errors.New("stats: z must be positive and finite")
 	}
 	p := float64(k) / float64(n)
 	nn := float64(n)
