@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke campaign-smoke earlystop-smoke
+.PHONY: build check vet test race bench chaos fuzz-smoke cover cover-check bench-aggregator bench-server bench-batch bench-delta load-smoke overload-smoke throughput-smoke failover-smoke multinode-smoke campaign-smoke earlystop-smoke
 
 build:
 	$(GO) build ./...
@@ -47,11 +47,11 @@ cover:
 # Coverage floors on the preparation pipeline's load-bearing packages, the
 # overload guard, and the sequential early-stopping engine.
 cover-check: cover
-	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80 internal/guard 80 internal/earlystop 90
+	./scripts/cover_floor.sh internal/aggregator 85 internal/store 80 internal/guard 80 internal/earlystop 90 internal/shard 80
 
 # The PR-3 acceptance benchmark pair; record results in
 # BENCH_aggregator.json (on >=4 cores the parallel pipeline should show
-# >=2x over the sequential reference — see that file's notes).
+# >=2.2x over the sequential reference — see that file's notes).
 bench-aggregator:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare(Sequential|Parallel)$$' -benchmem -count=3 \
 		./internal/aggregator/
@@ -74,7 +74,7 @@ bench-batch:
 # Benchmark regression gate: re-runs the acceptance benchmarks and fails on
 # any recorded-floor regression — allocation counts vs BENCH_*.json, the
 # batch upload's 40 allocs/session budget, the >=10x incremental speedup,
-# (with >=4 cores) the >=1.8x parallel Prepare speedup, and the replicated
+# (with >=4 cores) the >=2.2x parallel Prepare speedup, and the replicated
 # upload's 10x overhead budget with zero post-ack replication lag.
 bench-delta:
 	./scripts/bench_delta.sh
@@ -101,6 +101,18 @@ overload-smoke:
 # divergence on the promoted node.
 failover-smoke:
 	$(GO) run -race ./cmd/kscope-load -scenario failover -workers 25 -seed 7 -drop 0.15 -fault 0.1
+
+# Sharded-fleet acceptance, under the race detector: three replicated
+# shard pairs behind the consistent-hash router, two tenant crowds, chaos
+# on every link (workers -> router, router -> every shard node, each
+# shard's replication stream). Mid-soak one shard's primary is killed and
+# its standby promoted, with the zombie left listening. Fails on any
+# acked-but-lost session, any router-face status outside 200/201/409/429/
+# 503 (or a shed without Retry-After), a missing stale-epoch fencing proof,
+# or the merged /results (raw tally merge and quality-controlled gather)
+# diverging from a single-node oracle holding the union of all sessions.
+multinode-smoke:
+	$(GO) run -race ./cmd/kscope-load -scenario multinode -workers 18 -seed 7 -drop 0.1 -fault 0.1
 
 # Multi-tenant campaign churn acceptance, under the race detector: 8 tenant
 # tests walk create -> Prepare (overlapping a neighbor's serving) -> serve

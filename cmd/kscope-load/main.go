@@ -83,7 +83,7 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kscope-load", flag.ContinueOnError)
 	cfg := config{}
-	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss), campaign (multi-tenant lifecycle churn with worker abandonment, dedup accounting, and per-tenant oracles), or earlystop (adaptive sequential stopping: decided tests conclude early, the null tenant never does, realized cost beats fixed-n under a shared budget)")
+	fs.StringVar(&cfg.scenario, "scenario", "soak", "load scenario: soak (steady crowd), overload (saturate admission control and force the store breaker open), throughput (batched uploads, sessions/sec report), failover (kill the replicated primary mid-soak, promote the warm standby, prove zero acked loss), multinode (sharded fleet behind the consistent-hash router: kill one shard's primary mid-soak, prove zero acked loss and oracle-equal merged results), campaign (multi-tenant lifecycle churn with worker abandonment, dedup accounting, and per-tenant oracles), or earlystop (adaptive sequential stopping: decided tests conclude early, the null tenant never does, realized cost beats fixed-n under a shared budget)")
 	fs.IntVar(&cfg.workers, "workers", 25, "number of simulated crowd workers")
 	fs.Int64Var(&cfg.seed, "seed", 1, "base seed; every worker stream derives from it")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "simultaneously running workers")
@@ -113,12 +113,14 @@ func run(args []string, out io.Writer) error {
 		return throughput(cfg, out)
 	case "failover":
 		return failover(cfg, out)
+	case "multinode":
+		return multinode(cfg, out)
 	case "campaign":
 		return campaignScenario(cfg, out)
 	case "earlystop":
 		return earlystopScenario(cfg, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, failover, campaign, or earlystop)", cfg.scenario)
+		return fmt.Errorf("unknown -scenario %q (want soak, overload, throughput, failover, multinode, campaign, or earlystop)", cfg.scenario)
 	}
 }
 

@@ -63,6 +63,7 @@ func run(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "admission-control base concurrency K (uploads get K, reads 4K, results K/4; 0 disables the guard)")
 	rate := fs.Float64("rate", 0, "per-worker request rate limit in req/s (0 disables rate limiting)")
 	burst := fs.Float64("burst", 0, "per-worker rate-limit burst (default 2x rate)")
+	shards := fs.String("shards", "", "run as the sharded deployment's routing tier over this comma-separated shard list (primary[|standby] URLs); mutually exclusive with -store and the replication flags")
 	rc := replConfig{}
 	fs.StringVar(&rc.replicateTo, "replicate-to", "", "warm-standby URL to stream the WAL to (makes this node the primary)")
 	fs.StringVar(&rc.replicaOf, "replica-of", "", "primary URL this node stands by for (runs the /repl/* surface only; SIGUSR1 promotes)")
@@ -79,11 +80,26 @@ func run(args []string) error {
 	if err := rc.validate(); err != nil {
 		return err
 	}
+	if *shards != "" {
+		// The routing tier owns no store and runs no engine of its own;
+		// storage-node flags on a router are an operator mistake, not
+		// something to silently ignore.
+		switch {
+		case *storeDir != "":
+			return fmt.Errorf("-shards and -store are mutually exclusive: the router owns no storage (point -shards at storage-backed nodes)")
+		case rc.replicateTo != "" || rc.replicaOf != "":
+			return fmt.Errorf("-shards and -replicate-to/-replica-of are mutually exclusive: replication is per shard, not on the router")
+		case earlyStopAlpha != 0:
+			return fmt.Errorf("-shards and -earlystop-alpha are mutually exclusive: the sequential engine needs a full session stream and runs on storage nodes")
+		}
+	}
 	gcfg := guardConfig(*maxInflight, *rate, *burst)
 	var handler http.Handler
 	var cleanup func()
 	var err error
 	switch {
+	case *shards != "":
+		handler, cleanup, err = buildRouter(*shards, *quiet)
 	case rc.replicaOf != "":
 		handler, cleanup, err = buildStandby(*storeDir, *quiet, gcfg)
 	case rc.replicateTo != "":
@@ -109,7 +125,11 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("kscope-server listening on http://%s (store: %s)\n", ln.Addr(), *storeDir)
+	if *shards != "" {
+		fmt.Printf("kscope-server routing tier listening on http://%s (shards: %s)\n", ln.Addr(), *shards)
+	} else {
+		fmt.Printf("kscope-server listening on http://%s (store: %s)\n", ln.Addr(), *storeDir)
+	}
 	return serve(ctx, httpServer, ln, *drain)
 }
 
@@ -199,9 +219,13 @@ func assembleHandler(db *store.DB, storeDir string, quiet bool, gcfg *guard.Conf
 	if err != nil {
 		return nil, nil, err
 	}
-	var logger *slog.Logger
-	if !quiet {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	return obs.Middleware(srv, buildLogger(quiet), reg, server.RouteLabel), db.Close, nil
+}
+
+// buildLogger returns the per-request logger, or nil under -quiet.
+func buildLogger(quiet bool) *slog.Logger {
+	if quiet {
+		return nil
 	}
-	return obs.Middleware(srv, logger, reg, server.RouteLabel), db.Close, nil
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

@@ -304,6 +304,7 @@ func retryable(status int) bool {
 func (c *Client) get(path string) ([]byte, error) {
 	var lastErr error
 	var serverDelay time.Duration
+	ring := newRingTracker("GET " + path)
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if err := c.noteRetry(attempt, serverDelay); err != nil {
@@ -316,19 +317,21 @@ func (c *Client) get(path string) ([]byte, error) {
 		switch {
 		case err != nil:
 			lastErr = err // transport error: rotate and retry
+			ring.note(base, 0, err)
 			c.rotateFrom(idx)
 		case status == http.StatusOK && !stale:
 			return body, nil
 		case retryable(status) || stale:
 			lastErr = fmt.Errorf("extension: GET %s%s: status %d (stale=%t): %s",
 				base, path, status, stale, truncate(body, 200))
+			ring.note(base, status, lastErr)
 			c.rotateFrom(idx)
 		default:
 			// Other 4xx is definitive; do not retry.
 			return nil, fmt.Errorf("extension: GET %s: status %d: %s", path, status, truncate(body, 200))
 		}
 	}
-	return nil, lastErr
+	return nil, ring.exhausted(lastErr)
 }
 
 func (c *Client) getOnce(base, path string) ([]byte, int, time.Duration, bool, error) {
@@ -389,6 +392,7 @@ func (c *Client) DeleteTest(testID string) error {
 	path := "/api/tests/" + testID
 	var lastErr error
 	var serverDelay time.Duration
+	ring := newRingTracker("DELETE " + path)
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if err := c.noteRetry(attempt, serverDelay); err != nil {
@@ -407,6 +411,7 @@ func (c *Client) DeleteTest(testID string) error {
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: DELETE %s: %w", path, err)
+			ring.note(base, 0, err)
 			c.rotateFrom(idx)
 			continue
 		}
@@ -420,13 +425,14 @@ func (c *Client) DeleteTest(testID string) error {
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: DELETE %s: status %d: %s",
 				path, resp.StatusCode, truncate(body, 200))
+			ring.note(base, resp.StatusCode, lastErr)
 			c.rotateFrom(idx)
 		default:
 			return fmt.Errorf("extension: DELETE %s: status %d: %s",
 				path, resp.StatusCode, truncate(body, 200))
 		}
 	}
-	return lastErr
+	return ring.exhausted(lastErr)
 }
 
 // UploadBatch posts many finished sessions through the server's batched
@@ -457,6 +463,7 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 	path := "/api/tests/" + testID + "/sessions:batch"
 	var lastErr error
 	var serverDelay time.Duration
+	ring := newRingTracker("POST " + path)
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if err := c.noteRetry(attempt, serverDelay); err != nil {
@@ -479,6 +486,7 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: uploading batch: %w", err)
+			ring.note(base, 0, err)
 			c.rotateFrom(idx)
 			continue
 		}
@@ -500,6 +508,7 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: batch upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
+			ring.note(base, resp.StatusCode, lastErr)
 			c.rotateFrom(idx)
 		default:
 			// Definitive failure (400/408/413): the report — when the server
@@ -512,7 +521,7 @@ func (c *Client) UploadBatch(testID string, sessions []server.SessionUpload, com
 			return nil, err
 		}
 	}
-	return nil, lastErr
+	return nil, ring.exhausted(lastErr)
 }
 
 // UploadOutcome classifies how an accepted session upload ended.
@@ -551,6 +560,7 @@ func (c *Client) UploadSessionOutcome(testID string, session server.SessionUploa
 	path := "/api/tests/" + testID + "/sessions"
 	var lastErr error
 	var serverDelay time.Duration
+	ring := newRingTracker("POST " + path)
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if err := c.noteRetry(attempt, serverDelay); err != nil {
@@ -570,6 +580,7 @@ func (c *Client) UploadSessionOutcome(testID string, session server.SessionUploa
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("extension: uploading session: %w", err)
+			ring.note(base, 0, err)
 			c.rotateFrom(idx)
 			continue
 		}
@@ -592,13 +603,14 @@ func (c *Client) UploadSessionOutcome(testID string, session server.SessionUploa
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("extension: upload failed: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
+			ring.note(base, resp.StatusCode, lastErr)
 			c.rotateFrom(idx)
 		default:
 			return UploadStored, fmt.Errorf("extension: upload rejected: status %d: %s",
 				resp.StatusCode, truncate(body, 200))
 		}
 	}
-	return UploadStored, lastErr
+	return UploadStored, ring.exhausted(lastErr)
 }
 
 // Results fetches a test's conclusion from GET /api/tests/{id}/results,

@@ -90,7 +90,13 @@ type FleetReport struct {
 	// Concluded counts workers whose finished sessions were acknowledged
 	// unstored because the test was already decided (early stopping).
 	Concluded int
-	Retries   int64
+	// RingExhausted breaks out how many of the Failed workers died with
+	// ErrRingExhausted — every base URL in their failover ring refused or
+	// never answered. Failed still includes them (the session did not
+	// land), but a run report can tell deployment-wide unavailability
+	// apart from per-worker trouble.
+	RingExhausted int
+	Retries       int64
 	Elapsed   time.Duration
 	// Errs holds the first few failures, for diagnostics.
 	Errs []error
@@ -131,6 +137,9 @@ func (f *Fleet) Run(testID string, pop *crowd.Population) (*FleetReport, error) 
 			report.Abandoned++
 		case res.Err != nil:
 			report.Failed++
+			if errors.Is(res.Err, ErrRingExhausted) {
+				report.RingExhausted++
+			}
 			if len(report.Errs) < 5 {
 				report.Errs = append(report.Errs, res.Err)
 			}

@@ -1,0 +1,101 @@
+package extension
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// ErrRingExhausted is the sentinel matched by errors.Is when a request
+// has spent its entire retry budget without any base URL in the failover
+// ring accepting it. The concrete error is always a *RingExhaustedError
+// carrying each node's last observed state — callers distinguishing "the
+// worker gave up" from "the whole deployment was unreachable" (the fleet
+// report does) match the sentinel; callers diagnosing which node failed
+// how use errors.As.
+var ErrRingExhausted = errors.New("extension: failover ring exhausted")
+
+// NodeStatus is one ring member's terminal state when the retry budget
+// ran out: the last HTTP status it answered (0 when its last failure was
+// a transport error) and the error describing that failure.
+type NodeStatus struct {
+	BaseURL string
+	Status  int
+	Err     error
+}
+
+// RingExhaustedError reports a request that failed on every base URL of
+// the client's failover ring. It wraps the final attempt's error and
+// matches ErrRingExhausted under errors.Is.
+type RingExhaustedError struct {
+	// Op names the request, e.g. "POST /api/tests/t/sessions".
+	Op string
+	// Nodes holds the last observed state per ring member, in ring order;
+	// members never tried (budget exhausted first) are absent.
+	Nodes []NodeStatus
+	// last is the final attempt's error, preserved for errors.Is/As
+	// chains (a context cancellation mid-ring must stay matchable).
+	last error
+}
+
+func (e *RingExhaustedError) Error() string {
+	var b strings.Builder
+	b.WriteString("extension: ")
+	b.WriteString(e.Op)
+	b.WriteString(": failover ring exhausted:")
+	for _, n := range e.Nodes {
+		b.WriteString(" [")
+		b.WriteString(n.BaseURL)
+		b.WriteString(": ")
+		if n.Status != 0 {
+			b.WriteString("status ")
+			b.WriteString(strconv.Itoa(n.Status))
+		}
+		if n.Err != nil {
+			if n.Status != 0 {
+				b.WriteString(": ")
+			}
+			b.WriteString(n.Err.Error())
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Is matches the ErrRingExhausted sentinel.
+func (e *RingExhaustedError) Is(target error) bool { return target == ErrRingExhausted }
+
+// Unwrap exposes the last attempt's error so wrapped causes (transport
+// errors, context cancellation) remain matchable through the ring error.
+func (e *RingExhaustedError) Unwrap() error { return e.last }
+
+// ringTracker accumulates per-node outcomes across one request's retry
+// loop and shapes them into a RingExhaustedError when the budget runs
+// out.
+type ringTracker struct {
+	op    string
+	order []string
+	last  map[string]NodeStatus
+}
+
+func newRingTracker(op string) *ringTracker {
+	return &ringTracker{op: op, last: make(map[string]NodeStatus)}
+}
+
+// note records the latest failure observed at base (status 0 = transport
+// error).
+func (t *ringTracker) note(base string, status int, err error) {
+	if _, seen := t.last[base]; !seen {
+		t.order = append(t.order, base)
+	}
+	t.last[base] = NodeStatus{BaseURL: base, Status: status, Err: err}
+}
+
+// exhausted builds the typed error around the final attempt's error.
+func (t *ringTracker) exhausted(lastErr error) error {
+	e := &RingExhaustedError{Op: t.op, last: lastErr}
+	for _, base := range t.order {
+		e.Nodes = append(e.Nodes, t.last[base])
+	}
+	return e
+}

@@ -1,0 +1,158 @@
+package extension
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exhaustedClient(t *testing.T, base string, failover ...string) *Client {
+	t.Helper()
+	opts := []ClientOption{WithRetries(2), WithBackoff(time.Millisecond), WithMaxRetryAfter(time.Millisecond)}
+	if len(failover) > 0 {
+		opts = append(opts, WithFailover(failover...))
+	}
+	c, err := NewClient(base, &http.Client{Timeout: 2 * time.Second}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRingExhaustedTyped: a request that dies on every ring member yields
+// an error matching ErrRingExhausted and carrying each node's last state.
+func TestRingExhaustedTyped(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer primary.Close()
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer standby.Close()
+
+	c := exhaustedClient(t, primary.URL, standby.URL)
+	_, err := c.TestInfo("t")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrRingExhausted) {
+		t.Fatalf("errors.Is(ErrRingExhausted) = false for %v", err)
+	}
+	var ring *RingExhaustedError
+	if !errors.As(err, &ring) {
+		t.Fatalf("errors.As(*RingExhaustedError) = false for %T", err)
+	}
+	if len(ring.Nodes) != 2 {
+		t.Fatalf("Nodes = %+v, want both ring members", ring.Nodes)
+	}
+	byURL := map[string]NodeStatus{}
+	for _, n := range ring.Nodes {
+		byURL[n.BaseURL] = n
+	}
+	if byURL[primary.URL].Status != http.StatusServiceUnavailable {
+		t.Errorf("primary last status = %d, want 503", byURL[primary.URL].Status)
+	}
+	if byURL[standby.URL].Status != http.StatusTooManyRequests {
+		t.Errorf("standby last status = %d, want 429", byURL[standby.URL].Status)
+	}
+	for _, want := range []string{"failover ring exhausted", primary.URL, standby.URL, "503", "429"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+// TestRingExhaustedTransportError: a node that never answers is recorded
+// with status 0 and its transport error.
+func TestRingExhaustedTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close()
+	c := exhaustedClient(t, dead.URL)
+	_, err := c.TestInfo("t")
+	if !errors.Is(err, ErrRingExhausted) {
+		t.Fatalf("errors.Is = false for %v", err)
+	}
+	var ring *RingExhaustedError
+	if !errors.As(err, &ring) {
+		t.Fatal(err)
+	}
+	if len(ring.Nodes) != 1 || ring.Nodes[0].Status != 0 || ring.Nodes[0].Err == nil {
+		t.Errorf("Nodes = %+v, want one transport-error entry with status 0", ring.Nodes)
+	}
+	if ring.Unwrap() == nil {
+		t.Error("the last attempt's error must stay unwrappable")
+	}
+}
+
+// TestDefinitive4xxIsNotRingExhaustion: a 404 is the deployment answering,
+// not the ring failing.
+func TestDefinitive4xxIsNotRingExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := exhaustedClient(t, ts.URL)
+	if _, err := c.TestInfo("t"); errors.Is(err, ErrRingExhausted) {
+		t.Errorf("definitive 404 classified as ring exhaustion: %v", err)
+	}
+}
+
+// TestFleetCountsRingExhausted: the fleet report breaks deployment-wide
+// unavailability out of the generic failure count.
+func TestFleetCountsRingExhausted(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	fleet := &Fleet{
+		BaseURL:       down.URL,
+		Answer:        AnswerFontSize(),
+		Seed:          1,
+		Concurrency:   2,
+		Retries:       1,
+		Backoff:       time.Millisecond,
+		MaxRetryAfter: time.Millisecond,
+	}
+	pop := fleetPopulation(t, 3, 1)
+	report, err := fleet.Run("t", pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 3 {
+		t.Fatalf("report = %+v, want all 3 workers failed", report)
+	}
+	if report.RingExhausted != 3 {
+		t.Errorf("RingExhausted = %d, want 3 (every failure was the whole ring refusing)", report.RingExhausted)
+	}
+}
+
+// TestFleetRingExhaustedZeroOnRejection: workers failing on a definitive
+// server answer are Failed but not RingExhausted.
+func TestFleetRingExhaustedZeroOnRejection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+	fleet := &Fleet{
+		BaseURL:     ts.URL,
+		Answer:      AnswerFontSize(),
+		Seed:        1,
+		Concurrency: 2,
+		Retries:     1,
+		Backoff:     time.Millisecond,
+	}
+	report, err := fleet.Run("t", fleetPopulation(t, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 2 || report.RingExhausted != 0 {
+		t.Errorf("report = %+v, want 2 failed, 0 ring-exhausted", report)
+	}
+}

@@ -99,6 +99,7 @@ func New(db *store.DB, blobs *store.BlobStore, opts ...Option) (*Server, error) 
 	s.mux.HandleFunc("GET /api/tests/{id}", s.handleTestInfo)
 	s.mux.HandleFunc("GET /api/tests/{id}/task", s.handleTask)
 	s.mux.HandleFunc("GET /api/tests/{id}/pages/{page}/{file...}", s.handlePageFile)
+	s.mux.HandleFunc("GET /api/tests/{id}/sessions", s.handleSessionList)
 	s.mux.HandleFunc("POST /api/tests/{id}/sessions", s.handleSessionUpload)
 	s.mux.HandleFunc("POST /api/tests/{id}/sessions:batch", s.handleSessionBatch)
 	s.mux.HandleFunc("GET /api/tests/{id}/results", s.handleResults)
@@ -794,11 +795,75 @@ func (s *Server) Sessions(testID string) ([]SessionUpload, error) {
 	return append([]SessionUpload(nil), out...), nil
 }
 
+// handleSessionList returns every stored session of a test verbatim, in
+// document-id (worker) order — the gather half of the shard router's
+// scatter/gather merge, and a deployment-face way to export a test's raw
+// sessions.
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	testID := r.PathValue("id")
+	_, degraded, err := s.loadServing(testID)
+	if err != nil {
+		if errors.Is(err, guard.ErrUnavailable) {
+			s.writeUnavailable(w, "session list")
+			return
+		}
+		writeLoadError(w, err)
+		return
+	}
+	if degraded {
+		// Breaker open: the decoded-session cache is the only safe source.
+		if cached, ok := s.cache.sessionsFor(testID); ok {
+			s.serveDegraded(w, cached)
+			return
+		}
+		s.writeUnavailable(w, "session list")
+		return
+	}
+	uploads, err := s.Sessions(testID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading sessions: %v", err)
+		return
+	}
+	if uploads == nil {
+		uploads = []SessionUpload{}
+	}
+	writeJSON(w, http.StatusOK, uploads)
+}
+
 // defaultQC derives the paper's default battery for a test: every real
 // page×question answered, engagement bounds, zero control failures.
 func defaultQC(entry *testEntry) *quality.Config {
-	cfg := quality.DefaultConfig(len(entry.prep.RealPages()) * len(entry.info.Questions))
+	return defaultQCInfo(entry.info)
+}
+
+// defaultQCInfo is defaultQC computed from the extension-facing TestInfo
+// alone — the page views carry their kind, so the real-page count needs
+// no Prepared. This is what lets the shard router (which holds only
+// TestInfo) apply the exact battery a single node applies.
+func defaultQCInfo(info *TestInfo) *quality.Config {
+	real := 0
+	for _, p := range info.Pages {
+		if p.Kind == aggregator.KindReal {
+			real++
+		}
+	}
+	cfg := quality.DefaultConfig(real * len(info.Questions))
 	return &cfg
+}
+
+// ConcludeUploads tallies a conclusion for an explicit session set
+// against a test's page spine. It is the merge kernel of the shard
+// router's ?quality=1 scatter/gather: the quality battery's majority vote
+// spans the whole crowd, so per-shard filtered results cannot be added —
+// the router gathers every shard's raw sessions (already in document-id
+// order per shard, merged by worker id) and concludes here, producing
+// bytes identical to a single node storing the same session set.
+func ConcludeUploads(info *TestInfo, uploads []SessionUpload, useQC bool) (*Results, error) {
+	var qc *quality.Config
+	if useQC {
+		qc = defaultQCInfo(info)
+	}
+	return concludeUploads(info, uploads, qc)
 }
 
 // Conclude computes results for a test from its stored sessions,
@@ -847,7 +912,13 @@ func (s *Server) ConcludeScratch(testID string, useQC bool) (*Results, error) {
 
 // concludeFrom tallies a conclusion from decoded sessions.
 func concludeFrom(testID string, entry *testEntry, uploads []SessionUpload, qc *quality.Config) (*Results, error) {
-	res := &Results{TestID: testID, Workers: len(uploads)}
+	// testID and entry.info.TestID are always the same string here (the
+	// entry was loaded by that id); concludeUploads keys off the info.
+	return concludeUploads(entry.info, uploads, qc)
+}
+
+func concludeUploads(info *TestInfo, uploads []SessionUpload, qc *quality.Config) (*Results, error) {
+	res := &Results{TestID: info.TestID, Workers: len(uploads)}
 
 	sessions := make([]quality.WorkerSession, len(uploads))
 	for i, u := range uploads {
@@ -883,7 +954,7 @@ func concludeFrom(testID string, entry *testEntry, uploads []SessionUpload, qc *
 			t.Add(r.Choice)
 		}
 	}
-	for _, p := range entry.info.Pages {
+	for _, p := range info.Pages {
 		pr := PageResult{PageID: p.ID, LeftName: p.LeftName, RightName: p.RightName, Kind: p.Kind}
 		if t, ok := tallies[p.ID]; ok {
 			pr.Tally = *t

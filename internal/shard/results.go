@@ -1,0 +1,576 @@
+package shard
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kaleidoscope/internal/server"
+)
+
+// fanResult is one shard's answer to a fleet-wide scatter.
+type fanResult struct {
+	up  *upstream
+	err error
+}
+
+// fanOut issues the same request to every shard concurrently, each with
+// the full per-shard failover/retry budget.
+func (rt *Router) fanOut(ctx context.Context, method, path string, hdr http.Header, body []byte) []fanResult {
+	out := make([]fanResult, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, ss := range rt.shards {
+		wg.Add(1)
+		go func(i int, ss *shardState) {
+			defer wg.Done()
+			up, err := rt.doShard(ctx, ss, method, path, hdr, body)
+			out[i] = fanResult{up: up, err: err}
+		}(i, ss)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleResults is the scatter/gather conclusion merge.
+//
+// Raw results merge shard-locally concluded tallies: every shard answers
+// /results from its incremental accumulator, and the router adds the
+// per-page questionnaire tallies field-wise — the accumulator's own merge
+// algebra, so the merged payload is byte-identical to a single node
+// holding all sessions.
+//
+// ?quality=1 cannot merge that way: the quality battery's majority vote
+// is computed across the whole crowd, so per-shard filtered results would
+// each vote inside their own partition. The router instead gathers the
+// raw stored sessions from every shard (each list already in document-id
+// order, i.e. sorted by worker id) and runs the single-node conclusion
+// over the merged set via server.ConcludeUploads.
+//
+// Either way, a shard whose primary and standby are both gone does not
+// fail the query: the router serves what the surviving shards hold and
+// marks the response X-Kscope-Partial: 1. Only the whole fleet being
+// unreachable yields a 503.
+func (rt *Router) handleResults(w http.ResponseWriter, r *http.Request, testID string) {
+	if r.URL.Query().Get("quality") == "1" {
+		rt.resultsQuality(w, r, testID)
+		return
+	}
+	rt.resultsRaw(w, r, testID)
+}
+
+func (rt *Router) resultsRaw(w http.ResponseWriter, r *http.Request, testID string) {
+	path := "/api/tests/" + testID + "/results"
+	fans := rt.fanOut(r.Context(), http.MethodGet, path, r.Header, nil)
+
+	var merged *server.Results
+	pageIdx := map[string]int{}
+	var down, notFound, ok int
+	degraded := false
+	var lastErr error
+	var passThrough *upstream
+	for _, f := range fans {
+		switch {
+		case f.err != nil:
+			down++
+			lastErr = f.err
+		case f.up.status == http.StatusNotFound:
+			notFound++
+			passThrough = f.up
+		case f.up.status != http.StatusOK:
+			// A shard that answered but could not conclude (degraded 503
+			// with nothing cached, mid-delete 500) counts as missing, not
+			// fatal: the surviving shards still serve a partial snapshot.
+			down++
+			lastErr = fmt.Errorf("shard answered status %d", f.up.status)
+			passThrough = f.up
+		default:
+			var res server.Results
+			if err := json.Unmarshal(f.up.body, &res); err != nil {
+				down++
+				lastErr = fmt.Errorf("corrupt shard results: %w", err)
+				continue
+			}
+			ok++
+			if f.up.header.Get(server.DegradedHeader) == "1" {
+				degraded = true
+			}
+			if merged == nil {
+				merged = &res
+				for i, p := range res.Pages {
+					pageIdx[p.PageID] = i
+				}
+				continue
+			}
+			merged.Workers += res.Workers
+			for _, p := range res.Pages {
+				if i, okIdx := pageIdx[p.PageID]; okIdx {
+					merged.Pages[i].Tally.Left += p.Tally.Left
+					merged.Pages[i].Tally.Right += p.Tally.Right
+					merged.Pages[i].Tally.Same += p.Tally.Same
+				}
+			}
+		}
+	}
+	switch {
+	case ok == 0 && notFound > 0:
+		// Every reachable shard says the test is gone.
+		rt.writeUpstream(w, passThrough)
+		return
+	case ok == 0 && passThrough != nil:
+		rt.writeUpstream(w, passThrough)
+		return
+	case ok == 0:
+		rt.writeUnreachable(w, "results", lastErr)
+		return
+	}
+	rt.finishGather(w, merged, down > 0, degraded)
+}
+
+func (rt *Router) resultsQuality(w http.ResponseWriter, r *http.Request, testID string) {
+	info, up, err := rt.testInfo(r.Context(), testID, r.Header)
+	if err != nil {
+		rt.writeUnreachable(w, "results", err)
+		return
+	}
+	if info == nil {
+		rt.writeUpstream(w, up) // definitive non-200 (404, shed...)
+		return
+	}
+	uploads, partial, degraded, err := rt.gatherSessions(r.Context(), testID, r.Header)
+	if err != nil {
+		rt.writeUnreachable(w, "results", err)
+		return
+	}
+	res, err := server.ConcludeUploads(info, uploads, true)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "concluding: %v", err)
+		return
+	}
+	rt.finishGather(w, res, partial, degraded)
+}
+
+func (rt *Router) finishGather(w http.ResponseWriter, res *server.Results, partial, degraded bool) {
+	if partial {
+		w.Header().Set(PartialHeader, "1")
+		if rt.partials != nil {
+			rt.partials.Inc()
+		}
+	}
+	if degraded {
+		w.Header().Set(server.DegradedHeader, "1")
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// testInfo fetches a test's metadata, walking the ring from the home
+// shard so a fully-lost segment does not hide a test every other shard
+// also holds (prepared content is provisioned fleet-wide). A definitive
+// non-200 answer is returned as the upstream to pass through; only every
+// shard being unreachable is an error.
+func (rt *Router) testInfo(ctx context.Context, testID string, hdr http.Header) (*server.TestInfo, *upstream, error) {
+	path := "/api/tests/" + testID
+	home := rt.ring.Owner(TestKey(testID))
+	var lastErr error
+	for i := 0; i < len(rt.shards); i++ {
+		ss := rt.shards[(home+i)%len(rt.shards)]
+		up, err := rt.doShard(ctx, ss, http.MethodGet, path, hdr, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if up.status != http.StatusOK {
+			return nil, up, nil
+		}
+		var info server.TestInfo
+		if err := json.Unmarshal(up.body, &info); err != nil {
+			lastErr = fmt.Errorf("corrupt test info from shard %s: %w", ss.spec.Name, err)
+			continue
+		}
+		return &info, up, nil
+	}
+	return nil, nil, lastErr
+}
+
+// gatherSessions collects every shard's stored sessions for a test and
+// merges them into global document-id order (each shard's list is already
+// sorted by worker id; session keys partition workers across shards, so a
+// sort by worker id reproduces the order a single node would store).
+func (rt *Router) gatherSessions(ctx context.Context, testID string, hdr http.Header) (uploads []server.SessionUpload, partial, degraded bool, err error) {
+	path := "/api/tests/" + testID + "/sessions"
+	fans := rt.fanOut(ctx, http.MethodGet, path, hdr, nil)
+	var down, ok int
+	var lastErr error
+	for _, f := range fans {
+		switch {
+		case f.err != nil:
+			down++
+			lastErr = f.err
+		case f.up.status == http.StatusNotFound:
+			// Deleted on this shard (or never prepared): zero contribution.
+			ok++
+		case f.up.status != http.StatusOK:
+			down++
+			lastErr = fmt.Errorf("shard answered status %d", f.up.status)
+		default:
+			var part []server.SessionUpload
+			if err := json.Unmarshal(f.up.body, &part); err != nil {
+				down++
+				lastErr = fmt.Errorf("corrupt session list: %w", err)
+				continue
+			}
+			ok++
+			if f.up.header.Get(server.DegradedHeader) == "1" {
+				degraded = true
+			}
+			uploads = append(uploads, part...)
+		}
+	}
+	if ok == 0 {
+		return nil, false, false, lastErr
+	}
+	sort.Slice(uploads, func(a, b int) bool {
+		return uploads[a].WorkerID < uploads[b].WorkerID
+	})
+	return uploads, down > 0, degraded, nil
+}
+
+// handleSessionList serves the deployment-face session list: the same
+// gather the quality merge uses, exposed so a router client sees the same
+// surface a single node offers.
+func (rt *Router) handleSessionList(w http.ResponseWriter, r *http.Request, testID string) {
+	info, up, err := rt.testInfo(r.Context(), testID, r.Header)
+	if err != nil {
+		rt.writeUnreachable(w, "session list", err)
+		return
+	}
+	if info == nil {
+		rt.writeUpstream(w, up)
+		return
+	}
+	uploads, partial, degraded, err := rt.gatherSessions(r.Context(), testID, r.Header)
+	if err != nil {
+		rt.writeUnreachable(w, "session list", err)
+		return
+	}
+	if partial {
+		w.Header().Set(PartialHeader, "1")
+		if rt.partials != nil {
+			rt.partials.Inc()
+		}
+	}
+	if degraded {
+		w.Header().Set(server.DegradedHeader, "1")
+	}
+	if uploads == nil {
+		uploads = []server.SessionUpload{}
+	}
+	writeJSON(w, http.StatusOK, uploads)
+}
+
+// handleListTests merges every shard's test listing; session counts sum
+// across shards, the static fields (description, participants, pages)
+// come from whichever shard answered first.
+func (rt *Router) handleListTests(w http.ResponseWriter, r *http.Request) {
+	fans := rt.fanOut(r.Context(), http.MethodGet, "/api/tests", r.Header, nil)
+	byID := map[string]*server.TestSummary{}
+	var order []string
+	var down, ok int
+	var lastErr error
+	for _, f := range fans {
+		switch {
+		case f.err != nil:
+			down++
+			lastErr = f.err
+		case f.up.status != http.StatusOK:
+			down++
+			lastErr = fmt.Errorf("shard answered status %d", f.up.status)
+		default:
+			var part []server.TestSummary
+			if err := json.Unmarshal(f.up.body, &part); err != nil {
+				down++
+				lastErr = fmt.Errorf("corrupt test listing: %w", err)
+				continue
+			}
+			ok++
+			for i := range part {
+				s := part[i]
+				if have, seen := byID[s.TestID]; seen {
+					have.Sessions += s.Sessions
+				} else {
+					byID[s.TestID] = &s
+					order = append(order, s.TestID)
+				}
+			}
+		}
+	}
+	if ok == 0 {
+		rt.writeUnreachable(w, "test listing", lastErr)
+		return
+	}
+	sort.Strings(order)
+	out := make([]server.TestSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	if down > 0 {
+		w.Header().Set(PartialHeader, "1")
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDelete fans a test deletion to every shard (sessions live
+// fleet-wide; prepared content is provisioned fleet-wide) and sums the
+// sweep counts. Deletion stays idempotent end to end: a shard that was
+// unreachable keeps its data, the router answers 503, and the client's
+// retry re-sweeps — shards already swept answer 404, which merges as
+// zero contribution.
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request, testID string) {
+	fans := rt.fanOut(r.Context(), http.MethodDelete, r.URL.RequestURI(), r.Header, nil)
+	var pages, sessions, blobs float64
+	var ok, notFound int
+	var firstNotFound, failed *upstream
+	var lastErr error
+	for _, f := range fans {
+		switch {
+		case f.err != nil:
+			lastErr = f.err
+		case f.up.status == http.StatusNotFound:
+			notFound++
+			if firstNotFound == nil {
+				firstNotFound = f.up
+			}
+		case f.up.status != http.StatusOK:
+			if failed == nil {
+				failed = f.up
+			}
+		default:
+			ok++
+			var counts map[string]any
+			if json.Unmarshal(f.up.body, &counts) == nil {
+				pages += numField(counts, "pages")
+				sessions += numField(counts, "sessions")
+				blobs += numField(counts, "blobs")
+			}
+		}
+	}
+	switch {
+	case lastErr != nil:
+		rt.writeUnreachable(w, "test deletion", lastErr)
+	case failed != nil:
+		rt.writeUpstream(w, failed)
+	case ok == 0 && notFound > 0:
+		rt.writeUpstream(w, firstNotFound)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "deleted",
+			"test_id":  testID,
+			"pages":    int(pages),
+			"sessions": int(sessions),
+			"blobs":    int(blobs),
+		})
+	}
+}
+
+func numField(m map[string]any, key string) float64 {
+	v, _ := m[key].(float64)
+	return v
+}
+
+// shardReadiness is one shard's row in the aggregated /readyz body.
+type shardReadiness struct {
+	Name  string         `json:"name"`
+	Ready bool           `json:"ready"`
+	Nodes map[string]int `json:"nodes"` // node URL -> status (0 = unreachable)
+}
+
+// handleReady aggregates fleet health: a shard segment is ready when any
+// of its nodes (primary or promoted standby) answers /readyz 200; the
+// deployment is ready when every segment is. Probes are single attempts
+// on a short timeout — readiness must report now, not after a retry
+// budget.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	rows := make([]shardReadiness, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, ss := range rt.shards {
+		wg.Add(1)
+		go func(i int, ss *shardState) {
+			defer wg.Done()
+			row := shardReadiness{Name: ss.spec.Name, Nodes: map[string]int{}}
+			for _, n := range ss.nodes {
+				ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/readyz", nil)
+				if err != nil {
+					cancel()
+					continue
+				}
+				resp, err := n.httpc.Do(req)
+				if err != nil {
+					cancel()
+					row.Nodes[n.base] = 0
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cancel()
+				row.Nodes[n.base] = resp.StatusCode
+				if resp.StatusCode == http.StatusOK {
+					row.Ready = true
+				}
+			}
+			rows[i] = row
+		}(i, ss)
+	}
+	wg.Wait()
+	ready := true
+	for _, row := range rows {
+		if !row.Ready {
+			ready = false
+		}
+	}
+	status, label := http.StatusOK, "ready"
+	if !ready {
+		status, label = http.StatusServiceUnavailable, "degraded"
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{"status": label, "shards": rows})
+}
+
+// handleBatch splits a batched upload by session key and forwards each
+// sub-batch to its owning shard, reassembling per-element statuses in the
+// caller's element order. Split semantics stay idempotent: if any shard's
+// sub-batch fails outright the router answers 503 and the client retries
+// the whole batch — elements that committed answer 409 on the retry,
+// which the batch client already treats as success.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request, testID string) {
+	body, err := readBody(r, maxProxyBody)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading batch: %v", err)
+		return
+	}
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, zerr := gzip.NewReader(bytes.NewReader(body))
+		if zerr != nil {
+			writeError(w, http.StatusBadRequest, "batch gzip stream: %v", zerr)
+			return
+		}
+		body, err = io.ReadAll(io.LimitReader(zr, maxProxyBody+1))
+		if err != nil || int64(len(body)) > maxProxyBody {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch too large after decompression")
+			return
+		}
+	}
+	var elems []json.RawMessage
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if err := dec.Decode(&elems); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed batch: %v", err)
+		return
+	}
+	if len(elems) > routerMaxBatchSessions {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d sessions exceeds the %d-session limit", len(elems), routerMaxBatchSessions)
+		return
+	}
+	if len(elems) == 0 {
+		// Nothing to split: let the home shard apply the single-node
+		// empty-batch semantics.
+		rt.forwardBatch(w, r, testID, body)
+		return
+	}
+
+	// Group element indices by owning shard, preserving order within each
+	// group so a shard's report maps back positionally.
+	groups := make(map[int][]int)
+	for i, raw := range elems {
+		workerID := sniffWorkerID(raw)
+		shardIdx := rt.ring.Owner(SessionKey(testID, workerID))
+		groups[shardIdx] = append(groups[shardIdx], i)
+	}
+
+	type subResult struct {
+		indices []int
+		up      *upstream
+		err     error
+	}
+	results := make([]subResult, 0, len(groups))
+	for shardIdx, indices := range groups {
+		results = append(results, subResult{indices: indices})
+		sub := &results[len(results)-1]
+		var buf bytes.Buffer
+		buf.WriteByte('[')
+		for j, i := range indices {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(elems[i])
+		}
+		buf.WriteByte(']')
+		sub.up, sub.err = rt.doShard(r.Context(), rt.shards[shardIdx],
+			http.MethodPost, r.URL.RequestURI(), batchHeader(r.Header), buf.Bytes())
+	}
+
+	merged := server.BatchReport{
+		TestID:  testID,
+		Results: make([]server.BatchElementResult, len(elems)),
+	}
+	for _, sub := range results {
+		switch {
+		case sub.err != nil:
+			rt.writeUnreachable(w, "batch upload", sub.err)
+			return
+		case sub.up.status == http.StatusOK && sub.up.header.Get(server.ConcludedHeader) == "1":
+			// The test concluded mid-batch on this shard; relay the
+			// concluded acknowledgement for the whole batch (other shards'
+			// stored elements answer 409 if the client ever retries).
+			rt.writeUpstream(w, sub.up)
+			return
+		case sub.up.status != http.StatusOK:
+			// A stream-level sub-batch failure. The router built this
+			// sub-batch from decoded JSON, so 400/413 here means the shard
+			// is refusing work; relay 5xx/429 (with Retry-After) and pass
+			// definitive 4xx through so the client sees the shard's answer.
+			rt.writeUpstream(w, sub.up)
+			return
+		}
+		var rep server.BatchReport
+		if err := json.Unmarshal(sub.up.body, &rep); err != nil || len(rep.Results) != len(sub.indices) {
+			rt.writeUnreachable(w, "batch upload", errors.New("corrupt sub-batch report"))
+			return
+		}
+		merged.Accepted += rep.Accepted
+		merged.Rejected += rep.Rejected
+		for j, er := range rep.Results {
+			er.Index = sub.indices[j]
+			merged.Results[er.Index] = er
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// forwardBatch relays an (already decompressed) batch body to the test's
+// home shard.
+func (rt *Router) forwardBatch(w http.ResponseWriter, r *http.Request, testID string, body []byte) {
+	ss := rt.shards[rt.ring.Owner(TestKey(testID))]
+	up, err := rt.doShard(r.Context(), ss, http.MethodPost, r.URL.RequestURI(), batchHeader(r.Header), body)
+	if err != nil {
+		rt.writeUnreachable(w, "batch upload", err)
+		return
+	}
+	rt.writeUpstream(w, up)
+}
+
+// batchHeader strips the original Content-Encoding: sub-batches are
+// re-encoded as plain JSON.
+func batchHeader(src http.Header) http.Header {
+	h := src.Clone()
+	h.Del("Content-Encoding")
+	h.Set("Content-Type", "application/json")
+	return h
+}

@@ -1,0 +1,552 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaleidoscope/internal/guard"
+	"kaleidoscope/internal/obs"
+	"kaleidoscope/internal/server"
+)
+
+// PartialHeader marks a scatter/gather response that is missing one or
+// more shards' contributions because a shard and its standby were both
+// unreachable. Partial results are the degraded read the router serves
+// instead of failing the whole query for one lost ring segment.
+const PartialHeader = "X-Kscope-Partial"
+
+// Spec names one shard: the primary node's base URL and, optionally, its
+// warm standby's. Name is the shard's ring identity — it must stay stable
+// across router restarts or keys remap; it defaults to the primary URL.
+type Spec struct {
+	Name    string
+	Primary string
+	Standby string
+}
+
+func (s Spec) nodes() []string {
+	if s.Standby == "" {
+		return []string{s.Primary}
+	}
+	return []string{s.Primary, s.Standby}
+}
+
+// Config wires a Router.
+type Config struct {
+	// Shards is the static membership list (at least one entry).
+	Shards []Spec
+	// VirtualNodes is the per-shard ring point count (<= 0 selects
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// Retries is the extra-attempt budget per proxied request; attempts
+	// rotate primary -> standby -> primary... (default 8).
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt with ±50% jitter (default 25ms).
+	Backoff time.Duration
+	// MaxRetryAfter caps how long a downstream Retry-After may make the
+	// router wait between attempts (default 2s).
+	MaxRetryAfter time.Duration
+	// Timeout bounds each proxied attempt (default 10s).
+	Timeout time.Duration
+	// Transport, when set, supplies the per-link RoundTripper for a
+	// (shard, node) pair — the chaos-injection seam. Nil links use
+	// http.DefaultTransport.
+	Transport func(shardName, nodeURL string) http.RoundTripper
+	// Registry, when set, receives the router's own counters.
+	Registry *obs.Registry
+	// Seed makes retry jitter deterministic in tests (0 seeds from the
+	// global source).
+	Seed int64
+}
+
+// Defaults for the proxy retry budget.
+const (
+	defaultRetries       = 8
+	defaultBackoff       = 25 * time.Millisecond
+	defaultMaxRetryAfter = 2 * time.Second
+	defaultTimeout       = 10 * time.Second
+	maxProxyBackoff      = time.Second
+	// maxProxyBody bounds any single buffered request or response body.
+	// Bodies are buffered, not streamed, because a retried attempt must
+	// replay the bytes; the server's own budgets (1MiB sessions, 32MiB
+	// batches) sit far below this backstop.
+	maxProxyBody = 64 << 20
+	// routerMaxBatchSessions mirrors the server's per-batch element cap so
+	// a split batch cannot smuggle more elements past it than a
+	// single-node deployment would accept.
+	routerMaxBatchSessions = 10_000
+)
+
+// node is one reachable process of a shard (primary or standby).
+type node struct {
+	base  string
+	httpc *http.Client
+}
+
+// shardState is the router's per-shard view: the node list (primary
+// first) plus which node requests currently prefer and the highest
+// replication epoch any response from this shard has carried. A response
+// from a lower epoch is a deposed primary — possibly a zombie that does
+// not know it yet — and rotates the preference to the standby, exactly
+// like the extension client's failover ring.
+type shardState struct {
+	spec      Spec
+	nodes     []node
+	preferred atomic.Int64
+	maxEpoch  atomic.Uint64
+}
+
+func (ss *shardState) current() (node, int64) {
+	idx := ss.preferred.Load()
+	return ss.nodes[int(idx%int64(len(ss.nodes)))], idx
+}
+
+// rotateFrom advances past the node observed failing, unless a concurrent
+// request already advanced — racing failures must not skip a healthy node.
+func (ss *shardState) rotateFrom(idx int64) bool {
+	return len(ss.nodes) > 1 && ss.preferred.CompareAndSwap(idx, idx+1)
+}
+
+// Router is the deployment's thin HTTP tier: mostly stateless (the only
+// state is per-shard node preference and observed epochs), it owns no
+// data and can be restarted or replicated freely.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shardState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	reg       *obs.Registry
+	retries   *obs.Counter
+	failovers *obs.Counter
+	partials  *obs.Counter
+	exhausted *obs.Counter
+}
+
+// New builds the router over a static shard list.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard")
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = defaultRetries
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = defaultBackoff
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = defaultMaxRetryAfter
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	names := make([]string, len(cfg.Shards))
+	states := make([]*shardState, len(cfg.Shards))
+	for i, spec := range cfg.Shards {
+		if spec.Primary == "" {
+			return nil, fmt.Errorf("shard: shard %d has no primary URL", i)
+		}
+		if spec.Name == "" {
+			spec.Name = spec.Primary
+		}
+		names[i] = spec.Name
+		ss := &shardState{spec: spec}
+		for _, base := range spec.nodes() {
+			var rt http.RoundTripper
+			if cfg.Transport != nil {
+				rt = cfg.Transport(spec.Name, base)
+			}
+			ss.nodes = append(ss.nodes, node{
+				base:  strings.TrimRight(base, "/"),
+				httpc: &http.Client{Transport: rt},
+			})
+		}
+		states[i] = ss
+	}
+	ring, err := NewRing(names, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		shards: states,
+		rng:    rand.New(rand.NewSource(seed)),
+		reg:    cfg.Registry,
+	}
+	if rt.reg != nil {
+		rt.retries = rt.reg.Counter("kscope_shard_proxy_retries_total")
+		rt.failovers = rt.reg.Counter("kscope_shard_failovers_total")
+		rt.partials = rt.reg.Counter("kscope_shard_partial_results_total")
+		rt.exhausted = rt.reg.Counter("kscope_shard_exhausted_total")
+		rt.reg.RegisterGauge("kscope_shard_count", func() float64 {
+			return float64(len(states))
+		})
+	}
+	return rt, nil
+}
+
+// Ring exposes the routing ring (tests and operators asking "who owns
+// this key").
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// upstream is one buffered downstream response.
+type upstream struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (up *upstream) retryAfter() time.Duration {
+	if up == nil {
+		return 0
+	}
+	v := strings.TrimSpace(up.header.Get("Retry-After"))
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// retryable mirrors the extension client's policy: server-side trouble
+// (5xx) and overload sheds (429) are worth another attempt; other 4xx is
+// definitive.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// doShard performs one logical request against a shard, walking its nodes
+// with the retry budget: transport errors, retryable statuses, and
+// fenced/stale-epoch responses rotate to the other node and back off
+// (honoring a downstream Retry-After, capped). It returns the last
+// response seen when the budget runs out — a shed to pass through beats a
+// synthetic error — and an error only when no node ever answered.
+func (rt *Router) doShard(ctx context.Context, ss *shardState, method, path string, hdr http.Header, body []byte) (*upstream, error) {
+	var last *upstream
+	var lastErr error
+	var serverDelay time.Duration
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if rt.retries != nil {
+				rt.retries.Inc()
+			}
+			if err := rt.sleep(ctx, attempt, serverDelay); err != nil {
+				break
+			}
+			serverDelay = 0
+		}
+		n, idx := ss.current()
+		up, err := rt.try(ctx, n, method, path, hdr, body)
+		if err != nil {
+			lastErr = err
+			rt.rotate(ss, idx)
+			continue
+		}
+		serverDelay = up.retryAfter()
+		stale := rt.observe(ss, up)
+		switch {
+		case stale || retryable(up.status):
+			// A fenced or deposed node, or a 5xx/429: remember the answer
+			// (its status and Retry-After may be the best thing to hand the
+			// client) and try the other node.
+			last = up
+			rt.rotate(ss, idx)
+		default:
+			return up, nil
+		}
+	}
+	if last != nil {
+		return last, nil
+	}
+	if rt.exhausted != nil {
+		rt.exhausted.Inc()
+	}
+	return nil, fmt.Errorf("shard %s: all nodes unreachable: %w", ss.spec.Name, lastErr)
+}
+
+func (rt *Router) rotate(ss *shardState, idx int64) {
+	if ss.rotateFrom(idx) && rt.failovers != nil {
+		rt.failovers.Inc()
+	}
+}
+
+// observe folds a response's replication headers into the shard view and
+// reports whether the answering node should be abandoned for this attempt
+// (it is fenced, or it answered from an epoch older than one this router
+// has already seen from the shard).
+func (rt *Router) observe(ss *shardState, up *upstream) bool {
+	stale := up.header.Get(server.FencedHeader) == "1"
+	if v := up.header.Get(server.EpochHeader); v != "" {
+		if e, err := strconv.ParseUint(v, 10, 64); err == nil {
+			for {
+				cur := ss.maxEpoch.Load()
+				if e <= cur {
+					if e < cur {
+						stale = true
+					}
+					break
+				}
+				if ss.maxEpoch.CompareAndSwap(cur, e) {
+					break
+				}
+			}
+		}
+	}
+	return stale
+}
+
+func (rt *Router) try(ctx context.Context, n node, method, path string, hdr http.Header, body []byte) (*upstream, error) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, n.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	copyProxyHeader(req.Header, hdr)
+	if body != nil {
+		req.ContentLength = int64(len(body))
+	}
+	resp, err := n.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxProxyBody {
+		return nil, fmt.Errorf("shard: response from %s exceeds %d bytes", n.base, maxProxyBody)
+	}
+	return &upstream{status: resp.StatusCode, header: resp.Header.Clone(), body: b}, nil
+}
+
+// sleep waits before a retry: the downstream's Retry-After (capped) when
+// one was given, the router's own jittered exponential backoff otherwise.
+func (rt *Router) sleep(ctx context.Context, attempt int, serverDelay time.Duration) error {
+	var d time.Duration
+	if serverDelay > 0 {
+		d = serverDelay
+		if d > rt.cfg.MaxRetryAfter {
+			d = rt.cfg.MaxRetryAfter
+		}
+	} else {
+		d = rt.cfg.Backoff << (attempt - 1)
+		if d > maxProxyBackoff {
+			d = maxProxyBackoff
+		}
+		rt.rngMu.Lock()
+		jitter := rt.rng.Float64()
+		rt.rngMu.Unlock()
+		// ±50% jitter decorrelates concurrent proxied retries.
+		d = time.Duration(float64(d) * (0.5 + jitter))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// hopByHop lists the connection-scoped headers a proxy must not forward
+// (RFC 9110 §7.6.1).
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+func copyProxyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		if hopByHop[http.CanonicalHeaderKey(k)] || k == "Content-Length" {
+			continue
+		}
+		dst[k] = vv
+	}
+}
+
+// writeUpstream relays a downstream response verbatim, with one
+// normalization: every 429/503 the router answers carries Retry-After —
+// downstream chaos can strip it, but the shed contract at the deployment
+// face must hold.
+func (rt *Router) writeUpstream(w http.ResponseWriter, up *upstream) {
+	h := w.Header()
+	copyProxyHeader(h, up.header)
+	if (up.status == http.StatusTooManyRequests || up.status == http.StatusServiceUnavailable) &&
+		h.Get("Retry-After") == "" {
+		h.Set("Retry-After", "1")
+	}
+	w.WriteHeader(up.status)
+	w.Write(up.body)
+}
+
+// writeUnreachable is the router-minted 503 for a ring segment whose
+// primary and standby are both gone.
+func (rt *Router) writeUnreachable(w http.ResponseWriter, what string, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "%s unavailable: %v", what, err)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody buffers a request body up to limit bytes (413 is the caller's
+// concern; the proxy must replay bodies across retries, so it buffers).
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("body exceeds %d bytes", limit)
+	}
+	return b, nil
+}
+
+// ServeHTTP routes one request: single-shard paths are proxied to the
+// ring owner (with failover), fleet-wide paths (results, session lists,
+// test listing, deletes, readiness) scatter/gather.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "role": "router", "shards": len(rt.shards),
+		})
+	case p == "/readyz":
+		rt.handleReady(w, r)
+	case p == "/metrics" && rt.reg != nil:
+		obs.Handler(rt.reg).ServeHTTP(w, r)
+	case p == "/api/tests" && r.Method == http.MethodGet:
+		rt.handleListTests(w, r)
+	case strings.HasPrefix(p, "/api/tests/"):
+		rt.handleTest(w, r, strings.TrimPrefix(p, "/api/tests/"))
+	case strings.HasPrefix(p, "/dashboard/"):
+		rt.proxyKey(w, r, TestKey(strings.TrimPrefix(p, "/dashboard/")))
+	default:
+		// Stateless surfaces (/builder, /api/params/build): any shard can
+		// answer; hash the path so the load spreads deterministically.
+		rt.proxyKey(w, r, p)
+	}
+}
+
+// handleTest dispatches the /api/tests/{id}... subtree.
+func (rt *Router) handleTest(w http.ResponseWriter, r *http.Request, rest string) {
+	testID, tail := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		testID, tail = rest[:i], rest[i+1:]
+	}
+	if testID == "" {
+		writeError(w, http.StatusNotFound, "missing test id")
+		return
+	}
+	switch {
+	case r.Method == http.MethodDelete && tail == "":
+		rt.handleDelete(w, r, testID)
+	case r.Method == http.MethodGet && tail == "results":
+		rt.handleResults(w, r, testID)
+	case r.Method == http.MethodGet && tail == "sessions":
+		rt.handleSessionList(w, r, testID)
+	case r.Method == http.MethodPost && tail == "sessions":
+		rt.handleUpload(w, r, testID)
+	case r.Method == http.MethodPost && tail == "sessions:batch":
+		rt.handleBatch(w, r, testID)
+	default:
+		// Test info, task payloads, page files: owned by the test's home
+		// shard (every shard holds the provisioned content, but pinning
+		// reads to the owner keeps its serving cache hot).
+		rt.proxyKey(w, r, TestKey(testID))
+	}
+}
+
+// proxyKey forwards the request to the shard owning key, buffering the
+// body for retry replay.
+func (rt *Router) proxyKey(w http.ResponseWriter, r *http.Request, key string) {
+	body, err := readBody(r, maxProxyBody)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+		return
+	}
+	if len(body) == 0 {
+		body = nil
+	}
+	ss := rt.shards[rt.ring.Owner(key)]
+	up, err := rt.doShard(r.Context(), ss, r.Method, r.URL.RequestURI(), r.Header, body)
+	if err != nil {
+		rt.writeUnreachable(w, r.Method+" "+r.URL.Path, err)
+		return
+	}
+	rt.writeUpstream(w, up)
+}
+
+// handleUpload routes a single session upload by its session key. The
+// worker id comes from the X-Kscope-Worker header every extension client
+// sends; a headerless upload falls back to sniffing the body so the same
+// worker still routes consistently.
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request, testID string) {
+	body, err := readBody(r, maxProxyBody)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading session: %v", err)
+		return
+	}
+	workerID := r.Header.Get(guard.WorkerIDHeader)
+	if workerID == "" {
+		workerID = sniffWorkerID(body)
+	}
+	ss := rt.shards[rt.ring.Owner(SessionKey(testID, workerID))]
+	up, err := rt.doShard(r.Context(), ss, http.MethodPost, r.URL.RequestURI(), r.Header, body)
+	if err != nil {
+		rt.writeUnreachable(w, "session upload", err)
+		return
+	}
+	rt.writeUpstream(w, up)
+}
+
+func sniffWorkerID(body []byte) string {
+	var probe struct {
+		WorkerID string `json:"worker_id"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	return probe.WorkerID
+}

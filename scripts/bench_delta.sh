@@ -11,11 +11,13 @@
 #                       (default 40; recorded ~22)
 #   INCR_FLOOR        min incremental-over-scratch speedup at 10k (default 10)
 #   PAR_FLOOR         min parallel-over-sequential Prepare speedup when
-#                     NumCPU >= 4 (default 1.8)
+#                     NumCPU >= 4 (default 2.2; the 4-vCPU CI record in
+#                     BENCH_aggregator.json measures 2.62x and Amdahl caps
+#                     the 86%-parallel pipeline near 2.8x at 4 cores)
 #   REQUIRE_MULTICORE set to 1 to make the parallel-Prepare gate mandatory:
 #                     under 4 cores the script FAILS instead of skipping the
 #                     floor. CI sets this so a degraded runner (or a
-#                     GOMAXPROCS regression) cannot silently skip the 1.8x
+#                     GOMAXPROCS regression) cannot silently skip the 2.2x
 #                     claim the benchmark record stakes.
 #   REPL_OVERHEAD     max replicated-over-durable upload slowdown (default 10;
 #                     recorded ~5.8x for the AckFollower loopback round-trip)
@@ -26,7 +28,7 @@ cd "$(dirname "$0")/.."
 ALLOC_SLACK=${ALLOC_SLACK:-1.25}
 BATCH_ALLOC_BUDGET=${BATCH_ALLOC_BUDGET:-40}
 INCR_FLOOR=${INCR_FLOOR:-10}
-PAR_FLOOR=${PAR_FLOOR:-1.8}
+PAR_FLOOR=${PAR_FLOOR:-2.2}
 REPL_OVERHEAD=${REPL_OVERHEAD:-10}
 REQUIRE_MULTICORE=${REQUIRE_MULTICORE:-0}
 BATCH_SESSIONS=100 # keep in sync with batchBenchSessions in bench_test.go
